@@ -1,0 +1,39 @@
+# Standard developer entry points. Everything is plain `go` underneath;
+# this file only spells out the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-full fuzz experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/wire/... .
+
+# Shortened-horizon benchmarks: one per paper table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Paper-scale benchmarks (same horizons as the paper's 900 s runs).
+bench-full:
+	BADABING_BENCH_HORIZON=900s $(GO) test -bench=. -benchmem -timeout 4h -run '^$$' .
+
+fuzz:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzHeaderUnmarshal -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzZingHeaderUnmarshal -fuzztime 30s
+
+# Reproduce every paper table and figure at full scale (≈25 minutes).
+experiments:
+	$(GO) run ./cmd/labsim -experiment all -horizon 900s
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,109 @@
+// Package badabing is a Go implementation of the BADABING loss-measurement
+// methodology from "Improving Accuracy in End-to-end Packet Loss
+// Measurement" (Sommers, Barford, Duffield, Ron — SIGCOMM 2005).
+//
+// It estimates two characteristics of an end-to-end path that simple
+// Poisson probing measures poorly: the frequency of loss episodes and
+// their mean duration. The probe process is a discrete-time design —
+// at each time slot, with probability p, a short experiment of two (or,
+// in the improved design, sometimes three) multi-packet probes is sent —
+// whose estimators are consistent under mild assumptions, with built-in
+// validation tests that report when the estimates should not be trusted.
+//
+// This root package re-exports the measurement core so downstream users
+// can depend on a single import path:
+//
+//	sched := badabing.Schedule(badabing.ScheduleConfig{P: 0.3, N: 180000, Seed: 1})
+//	acc := &badabing.Accumulator{}
+//	... // run the probes, Mark the observations, Assemble the outcomes
+//	report := acc.MakeReport()
+//
+// The repository also contains:
+//
+//   - a real-UDP sender/collector pair (cmd/badabing) and a Poisson
+//     prober baseline (cmd/zing);
+//   - a userspace UDP impairment gateway for end-to-end testing without
+//     router hardware (cmd/gateway);
+//   - a discrete-event reproduction of the paper's laboratory testbed and
+//     every table and figure of its evaluation (cmd/labsim, bench_test.go).
+package badabing
+
+import (
+	"time"
+
+	core "badabing/internal/badabing"
+)
+
+// Core probe-process model and estimators (paper §5).
+type (
+	// Accumulator tallies experiment outcomes and computes the
+	// frequency and duration estimators.
+	Accumulator = core.Accumulator
+	// Plan is one scheduled experiment (start slot and probe count).
+	Plan = core.Plan
+	// ScheduleConfig parameterizes experiment generation.
+	ScheduleConfig = core.ScheduleConfig
+	// Report bundles a measurement's estimates and validation.
+	Report = core.Report
+	// Validation carries the §5.4 self-calibration checks.
+	Validation = core.Validation
+	// Criteria are acceptance thresholds for Validation.
+	Criteria = core.Criteria
+	// ProbeObs is a raw per-probe observation.
+	ProbeObs = core.ProbeObs
+	// MarkerConfig holds the §6.1 congestion-marking parameters α, τ.
+	MarkerConfig = core.MarkerConfig
+	// Monitor wraps an Accumulator with an open-ended stopping rule.
+	Monitor = core.Monitor
+	// MonitorConfig parameterizes a Monitor.
+	MonitorConfig = core.MonitorConfig
+)
+
+// DefaultSlot is the paper's 5 ms discretization interval.
+const DefaultSlot = core.DefaultSlot
+
+// Schedule draws the experiment start slots for a session.
+func Schedule(cfg ScheduleConfig) []Plan { return core.Schedule(cfg) }
+
+// Mark classifies probes as congested per §6.1 (loss, or high one-way
+// delay near a loss).
+func Mark(obs []ProbeObs, cfg MarkerConfig) []bool { return core.Mark(obs, cfg) }
+
+// OutcomeSink consumes experiment outcomes (Accumulator, Recorder and
+// Monitor all implement it).
+type OutcomeSink = core.OutcomeSink
+
+// Recorder retains the outcome sequence for bootstrap confidence
+// intervals.
+type Recorder = core.Recorder
+
+// Interval is a bootstrap confidence interval.
+type Interval = core.Interval
+
+// BootstrapConfig controls Recorder.Bootstrap resampling.
+type BootstrapConfig = core.BootstrapConfig
+
+// Counts is the transferable outcome-tally state of an Accumulator.
+type Counts = core.Counts
+
+// Adaptive is the round-based §8 adaptivity controller.
+type Adaptive = core.Adaptive
+
+// AdaptiveConfig parameterizes an Adaptive controller.
+type AdaptiveConfig = core.AdaptiveConfig
+
+// NewAdaptive creates an adaptive controller.
+func NewAdaptive(cfg AdaptiveConfig) *Adaptive { return core.NewAdaptive(cfg) }
+
+// Assemble groups per-slot congestion bits into experiment outcomes.
+func Assemble(sink OutcomeSink, plans []Plan, marked map[int64]bool) int {
+	return core.Assemble(sink, plans, marked)
+}
+
+// RecommendedMarker returns the §6.2 α/τ choices for a probe rate.
+func RecommendedMarker(p float64, slot time.Duration) MarkerConfig {
+	return core.RecommendedMarker(p, slot)
+}
+
+// NewMonitor returns a Monitor with the given config.
+func NewMonitor(cfg MonitorConfig) *Monitor { return core.NewMonitor(cfg) }

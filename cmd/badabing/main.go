@@ -1,0 +1,280 @@
+// Command badabing is the BADABING loss-measurement tool over real UDP:
+// a sender that paces the slot-based probe process toward a collaborating
+// target, and a collector that receives probes and reports loss episode
+// frequency and duration estimates with validation.
+//
+// Usage:
+//
+//	badabing send -target HOST:PORT [-p 0.3] [-n 180000] [-slot 5ms]
+//	              [-improved] [-packets 3] [-size 600] [-seed S] [-id ID]
+//	badabing collect -listen :8790 [-alpha 0.1] [-tau 30ms] [-every 10s]
+//
+// The collector re-derives each session's probe schedule from parameters
+// carried in the packets themselves, so no out-of-band coordination is
+// needed beyond the address.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"badabing/internal/badabing"
+	"badabing/internal/wire"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "send":
+		err = runSend(os.Args[2:])
+	case "collect":
+		err = runCollect(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "badabing:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  badabing send -target HOST:PORT [flags]
+  badabing collect -listen ADDR [flags]
+run "badabing send -h" or "badabing collect -h" for flags`)
+}
+
+func runSend(args []string) error {
+	fs := flag.NewFlagSet("send", flag.ExitOnError)
+	target := fs.String("target", "", "collector address HOST:PORT (required)")
+	p := fs.Float64("p", 0.3, "per-slot experiment probability")
+	n := fs.Int64("n", 180000, "number of slots in the session")
+	slot := fs.Duration("slot", badabing.DefaultSlot, "slot width")
+	improved := fs.Bool("improved", false, "use the improved (triple-probe) design")
+	packets := fs.Int("packets", 3, "packets per probe")
+	size := fs.Int("size", 600, "probe packet size in bytes")
+	seed := fs.Int64("seed", 0, "schedule seed (0 = derive from clock)")
+	id := fs.Uint64("id", uint64(time.Now().Unix()), "session id")
+	adaptive := fs.Bool("adaptive", false, "adaptive mode: escalate p per round until the estimates validate (requires a collector answering control queries)")
+	pmax := fs.Float64("pmax", 0.9, "adaptive: maximum probe probability")
+	roundSlots := fs.Int64("round", 6000, "adaptive: slots per round")
+	maxRounds := fs.Int("max-rounds", 40, "adaptive: round budget")
+	fs.Parse(args)
+	if *target == "" {
+		return fmt.Errorf("missing -target")
+	}
+	conn, err := net.Dial("udp", *target)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *adaptive {
+		fmt.Printf("adaptive session %d: p %.2f→%.2f, %d-slot rounds → %s\n",
+			*id, *p, *pmax, *roundSlots, *target)
+		res, err := wire.SendAdaptive(ctx, conn, wire.AdaptiveConfig{
+			BaseID:          *id,
+			Slot:            *slot,
+			PacketsPerProbe: *packets,
+			PacketSize:      *size,
+			Seed:            *seed,
+			Controller: badabing.AdaptiveConfig{
+				PMin:       *p,
+				PMax:       *pmax,
+				RoundSlots: *roundSlots,
+				MaxRounds:  *maxRounds,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d rounds, final p %.2f, %d packets, converged=%v\n",
+			res.Rounds, res.FinalP, res.Packets, res.Converged)
+		rep := res.Report
+		fmt.Printf("frequency %.5f", rep.Frequency)
+		if rep.HasDuration {
+			fmt.Printf(", duration %.4fs ± %.4f", rep.Duration, rep.StdDev)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	cfg := wire.SenderConfig{
+		ExpID:           *id,
+		P:               *p,
+		N:               *n,
+		Slot:            *slot,
+		Improved:        *improved,
+		Seed:            *seed,
+		PacketsPerProbe: *packets,
+		PacketSize:      *size,
+	}
+	fmt.Printf("session %d: p=%.2f N=%d slot=%v improved=%v → %s\n",
+		*id, *p, *n, *slot, *improved, *target)
+	st, err := wire.Send(ctx, conn, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sent %d experiments, %d probes, %d packets; max pacing lag %v\n",
+		st.Experiments, st.Probes, st.Packets, st.MaxLag)
+	if st.MaxLag > *slot/2 {
+		fmt.Printf("warning: pacing lag exceeded slot/2 — this host cannot sustain %v slots (see paper §7)\n", *slot)
+	}
+	return nil
+}
+
+func runCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	listen := fs.String("listen", ":8790", "UDP address to listen on")
+	alpha := fs.Float64("alpha", 0.1, "queue high-water fraction for delay marking")
+	tau := fs.Duration("tau", 30*time.Millisecond, "window around losses for delay marking")
+	every := fs.Duration("every", 10*time.Second, "report interval")
+	jsonOut := fs.Bool("json", false, "emit reports as JSON lines")
+	ci := fs.Bool("ci", false, "bootstrap 95% confidence intervals for the estimates")
+	fs.Parse(args)
+
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		return err
+	}
+	col := wire.NewCollector(conn)
+	go col.Run()
+	defer col.Close()
+	fmt.Printf("collecting on %v (alpha=%.3f tau=%v)\n", conn.LocalAddr(), *alpha, *tau)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	tick := time.NewTicker(*every)
+	defer tick.Stop()
+	marker := badabing.MarkerConfig{Alpha: *alpha, Tau: *tau}
+	col.SetMarker(marker) // control-channel queries use the same marking
+	emit := report
+	if *ci {
+		emit = func(col *wire.Collector, marker badabing.MarkerConfig) {
+			reportCI(col, marker)
+		}
+	}
+	if *jsonOut {
+		emit = reportJSON
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			emit(col, marker)
+			return nil
+		case <-tick.C:
+			emit(col, marker)
+		}
+	}
+}
+
+// jsonReport is the machine-readable form of a session report.
+type jsonReport struct {
+	Session     uint64            `json:"session"`
+	Stats       wire.SessionStats `json:"stats"`
+	Report      badabing.Report   `json:"report"`
+	Validated   bool              `json:"validated"`
+	GeneratedAt time.Time         `json:"generated_at"`
+}
+
+func reportJSON(col *wire.Collector, marker badabing.MarkerConfig) {
+	enc := json.NewEncoder(os.Stdout)
+	for _, id := range col.Sessions() {
+		rep, ss, err := col.Report(id, marker)
+		if err != nil {
+			continue
+		}
+		// NaN is not representable in JSON; zero out undefined fields.
+		if math.IsNaN(rep.DurationBasic) {
+			rep.DurationBasic = 0
+		}
+		if math.IsNaN(rep.DurationImproved) {
+			rep.DurationImproved = 0
+		}
+		if math.IsNaN(rep.StdDev) {
+			rep.StdDev = 0
+		}
+		enc.Encode(jsonReport{
+			Session:     id,
+			Stats:       ss,
+			Report:      rep,
+			Validated:   rep.Validation.Passes(badabing.Criteria{}),
+			GeneratedAt: time.Now().UTC(),
+		})
+	}
+}
+
+func report(col *wire.Collector, marker badabing.MarkerConfig) {
+	ids := col.Sessions()
+	if len(ids) == 0 {
+		fmt.Println("no sessions yet")
+		return
+	}
+	for _, id := range ids {
+		rep, ss, err := col.Report(id, marker)
+		if err != nil {
+			fmt.Printf("session %d: %v\n", id, err)
+			continue
+		}
+		fmt.Printf("session %d: %d pkts (%d lost, %d probes invalidated)\n",
+			id, ss.Packets, ss.PacketsLost, ss.LateInvalid)
+		fmt.Printf("  frequency: %.5f\n", rep.Frequency)
+		if rep.HasDuration {
+			fmt.Printf("  duration:  %.4fs (basic %.4f, improved %s, ±%.4f)\n",
+				rep.Duration, rep.DurationBasic, fmtNaN(rep.DurationImproved), rep.StdDev)
+		} else {
+			fmt.Println("  duration:  no episode boundaries observed yet")
+		}
+		v := rep.Validation
+		fmt.Printf("  validation: 01/10=%d/%d asym=%.2f violations=%d (rate %.3f) pass=%v\n",
+			v.C01, v.C10, v.BoundaryAsymmetry, v.Violations, v.ViolationRate,
+			v.Passes(badabing.Criteria{}))
+	}
+}
+
+// reportCI prints reports with bootstrap confidence intervals.
+func reportCI(col *wire.Collector, marker badabing.MarkerConfig) {
+	ids := col.Sessions()
+	if len(ids) == 0 {
+		fmt.Println("no sessions yet")
+		return
+	}
+	for _, id := range ids {
+		rep, freqCI, durCI, ss, err := col.ReportWithCI(id, marker, badabing.BootstrapConfig{})
+		if err != nil {
+			fmt.Printf("session %d: %v\n", id, err)
+			continue
+		}
+		fmt.Printf("session %d: %d pkts (%d lost)\n", id, ss.Packets, ss.PacketsLost)
+		fmt.Printf("  frequency: %.5f  [%.5f, %.5f] 95%%\n", rep.Frequency, freqCI.Lo, freqCI.Hi)
+		if rep.HasDuration {
+			fmt.Printf("  duration:  %.4fs [%.4f, %.4f] 95%%\n", rep.Duration, durCI.Lo, durCI.Hi)
+		} else {
+			fmt.Println("  duration:  no episode boundaries observed yet")
+		}
+	}
+}
+
+func fmtNaN(f float64) string {
+	if math.IsNaN(f) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.4f", f)
+}

@@ -1,0 +1,87 @@
+// Command labsim reproduces the paper's evaluation on the simulated
+// testbed: every table and figure has an experiment id. The default
+// horizon matches the paper's 15-minute runs; pass a shorter -horizon for
+// a quick look.
+//
+// Usage:
+//
+//	labsim -experiment table1 [-horizon 900s] [-seed 1]
+//	labsim -experiment all
+//
+// Experiment ids: table1 table2 table3 table4 table5 table6 table7 table8
+// fig4 fig5 fig6 fig7 fig8 fig9a fig9b, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"badabing/internal/lab"
+)
+
+var experiments = []struct {
+	id  string
+	run func(lab.RunConfig) fmt.Stringer
+}{
+	{"table1", func(c lab.RunConfig) fmt.Stringer { return lab.Table1(c) }},
+	{"table2", func(c lab.RunConfig) fmt.Stringer { return lab.Table2(c) }},
+	{"table3", func(c lab.RunConfig) fmt.Stringer { return lab.Table3(c) }},
+	{"table4", func(c lab.RunConfig) fmt.Stringer { return lab.Table4(c) }},
+	{"table5", func(c lab.RunConfig) fmt.Stringer { return lab.Table5(c) }},
+	{"table6", func(c lab.RunConfig) fmt.Stringer { return lab.Table6(c) }},
+	{"table7", func(c lab.RunConfig) fmt.Stringer { return lab.Table7(c) }},
+	{"table8", func(c lab.RunConfig) fmt.Stringer { return lab.Table8(c) }},
+	{"fig4", func(c lab.RunConfig) fmt.Stringer { return lab.Figure4(c) }},
+	{"fig5", func(c lab.RunConfig) fmt.Stringer { return lab.Figure5(c) }},
+	{"fig6", func(c lab.RunConfig) fmt.Stringer { return lab.Figure6(c) }},
+	{"fig7", func(c lab.RunConfig) fmt.Stringer { return lab.Figure7(c) }},
+	{"fig8", func(c lab.RunConfig) fmt.Stringer { return lab.Figure8(c) }},
+	{"fig9a", func(c lab.RunConfig) fmt.Stringer { return lab.Figure9a(c) }},
+	{"fig9b", func(c lab.RunConfig) fmt.Stringer { return lab.Figure9b(c) }},
+	{"multihop", func(c lab.RunConfig) fmt.Stringer { return lab.MultiHop(3, c) }},
+	{"red", func(c lab.RunConfig) fmt.Stringer { return lab.RED(c) }},
+	{"adaptivestudy", func(c lab.RunConfig) fmt.Stringer { return lab.AdaptiveStudy(c) }},
+	{"ablation-placement", func(c lab.RunConfig) fmt.Stringer { return lab.AblationPlacement(c) }},
+	{"ablation-marking", func(c lab.RunConfig) fmt.Stringer { return lab.AblationMarking(c) }},
+	{"ablation-estimator", func(c lab.RunConfig) fmt.Stringer { return lab.AblationEstimator(c) }},
+	{"ablation-slot", func(c lab.RunConfig) fmt.Stringer { return lab.AblationSlot(c) }},
+	{"ablation-probesize", func(c lab.RunConfig) fmt.Stringer { return lab.AblationProbeSize(c) }},
+	{"ablation-pairs", func(c lab.RunConfig) fmt.Stringer { return lab.AblationExtendedPairs(c) }},
+	{"seeds", func(c lab.RunConfig) fmt.Stringer {
+		return lab.SeedStudy(lab.CBRUniform, 0.5, []int64{1, 2, 3, 4, 5}, c)
+	}},
+}
+
+func main() {
+	exp := flag.String("experiment", "", "experiment id (table1..table8, fig4..fig9b, multihop, red, adaptivestudy, ablation-*, seeds, all)")
+	horizon := flag.Duration("horizon", 900*time.Second, "measurement duration per run")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := lab.RunConfig{Horizon: *horizon, Seed: *seed}
+	ran := false
+	for _, e := range experiments {
+		if *exp == "all" && strings.HasPrefix(e.id, "ablation") {
+			continue // ablations run only when named (or via "ablations")
+		}
+		if *exp != "all" && *exp != e.id &&
+			!(*exp == "ablations" && strings.HasPrefix(e.id, "ablation")) {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		fmt.Printf("== %s (horizon %v, seed %d)\n", e.id, *horizon, *seed)
+		fmt.Println(e.run(cfg))
+		fmt.Printf("   [%v elapsed]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "labsim: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,169 @@
+// Command zing is a ZING-style Poisson-modulated loss prober over UDP —
+// the baseline tool of the paper's §4. The sender emits timestamped,
+// sequence-numbered probes at exponentially distributed intervals; the
+// collector infers loss from sequence gaps and reports loss frequency and
+// the durations of runs of consecutive lost probes.
+//
+// Usage:
+//
+//	zing send -target HOST:PORT [-hz 10] [-size 256] [-duration 900s] [-id ID]
+//	zing collect -listen :8791 [-every 10s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"badabing/internal/wire"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "send":
+		err = runSend(os.Args[2:])
+	case "collect":
+		err = runCollect(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zing:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  zing send -target HOST:PORT [-hz 10] [-size 256] [-duration 900s]
+  zing collect -listen ADDR [-every 10s]`)
+}
+
+func runSend(args []string) error {
+	fs := flag.NewFlagSet("send", flag.ExitOnError)
+	target := fs.String("target", "", "collector address (required)")
+	hz := fs.Float64("hz", 10, "mean probe rate in probes per second")
+	size := fs.Int("size", 256, "probe packet size")
+	duration := fs.Duration("duration", 900*time.Second, "session length")
+	id := fs.Uint64("id", uint64(time.Now().Unix()), "session id")
+	seed := fs.Int64("seed", 0, "interval RNG seed (0 = derive from clock)")
+	fs.Parse(args)
+	if *target == "" {
+		return fmt.Errorf("missing -target")
+	}
+	if *hz <= 0 {
+		return fmt.Errorf("rate must be positive")
+	}
+	if *size < wire.ZingHeaderSize {
+		return fmt.Errorf("size %d below header size %d", *size, wire.ZingHeaderSize)
+	}
+	conn, err := net.Dial("udp", *target)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	mean := time.Duration(float64(time.Second) / *hz)
+	end := time.Now().Add(*duration)
+	buf := make([]byte, *size)
+	var seq uint64
+	fmt.Printf("session %d: Poisson probes at %.1f Hz, %dB → %s for %v\n",
+		*id, *hz, *size, *target, *duration)
+	for time.Now().Before(end) {
+		gap := time.Duration(rng.ExpFloat64() * float64(mean))
+		select {
+		case <-ctx.Done():
+			fmt.Printf("interrupted after %d probes\n", seq)
+			return nil
+		case <-time.After(gap):
+		}
+		h := wire.ZingHeader{ExpID: *id, Seq: seq, SendTime: time.Now().UnixNano()}
+		if _, err := h.Marshal(buf); err != nil {
+			return err
+		}
+		if _, err := conn.Write(buf); err != nil {
+			return err
+		}
+		seq++
+	}
+	fmt.Printf("sent %d probes; pass -total %d to the collector for exact trailing-loss accounting\n", seq, seq)
+	return nil
+}
+
+func runCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	listen := fs.String("listen", ":8791", "UDP address to listen on")
+	every := fs.Duration("every", 10*time.Second, "report interval")
+	total := fs.Uint64("total", 0, "probes the sender reports having sent (0 = infer)")
+	fs.Parse(args)
+
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	col := wire.NewZingCollector()
+	go func() {
+		buf := make([]byte, 65536)
+		for {
+			n, _, err := conn.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			var h wire.ZingHeader
+			if err := h.Unmarshal(buf[:n]); err == nil {
+				col.Record(&h)
+			}
+		}
+	}()
+	fmt.Printf("collecting on %v\n", conn.LocalAddr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	tick := time.NewTicker(*every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			report(col, *total)
+			return nil
+		case <-tick.C:
+			report(col, *total)
+		}
+	}
+}
+
+func report(col *wire.ZingCollector, total uint64) {
+	ids := col.Sessions()
+	if len(ids) == 0 {
+		fmt.Println("no sessions yet")
+		return
+	}
+	for _, id := range ids {
+		rep, err := col.Report(id, total)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("session %d: %d/%d probes received, frequency %.5f, loss runs %d, duration µ %.4fs (σ %.4f)\n",
+			id, rep.Received, rep.Probes, rep.Frequency,
+			rep.Duration.N(), rep.Duration.Mean(), rep.Duration.StdDev())
+	}
+}

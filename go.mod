@@ -1,0 +1,3 @@
+module badabing
+
+go 1.22

@@ -1,0 +1,148 @@
+package badabing
+
+import (
+	"fmt"
+	"time"
+)
+
+// Adaptive probing (§8's "adding adaptivity to our probe process model in
+// a limited sense"): measurement proceeds in rounds, starting at a gentle
+// probe rate. After each round the §5.4 validation and the §7 reliability
+// bound are consulted; if the estimates have converged the measurement
+// stops, and if boundary evidence is accumulating too slowly the per-slot
+// probability escalates. The trade-off between timeliness and impact
+// (§7) is thus navigated automatically: quiet paths are probed lightly
+// for longer, lossy paths briefly at higher rate.
+
+// AdaptiveConfig parameterizes the controller.
+type AdaptiveConfig struct {
+	// PMin is the starting probe probability. Default 0.1.
+	PMin float64
+	// PMax caps escalation. Default 0.9.
+	PMax float64
+	// Escalation multiplies p on a slow round. Default 2.
+	Escalation float64
+	// RoundSlots is the round length in slots. Default 6000 (30 s at
+	// the default slot width).
+	RoundSlots int64
+	// MinBoundaryGain is the number of new boundary observations
+	// (01/10 outcomes) per round below which the round counts as slow.
+	// Default 10.
+	MinBoundaryGain int
+	// Monitor carries the convergence criteria.
+	Monitor MonitorConfig
+	// MaxRounds bounds the whole measurement. Default 40.
+	MaxRounds int
+}
+
+func (c *AdaptiveConfig) applyDefaults() {
+	if c.PMin == 0 {
+		c.PMin = 0.1
+	}
+	if c.PMax == 0 {
+		c.PMax = 0.9
+	}
+	if c.Escalation == 0 {
+		c.Escalation = 2
+	}
+	if c.RoundSlots == 0 {
+		c.RoundSlots = 6000
+	}
+	if c.MinBoundaryGain == 0 {
+		c.MinBoundaryGain = 10
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 40
+	}
+}
+
+// Adaptive is the round-based controller. Use NextRound to obtain each
+// round's schedule, feed the outcomes through Add, then call EndRound;
+// repeat until Done.
+type Adaptive struct {
+	cfg AdaptiveConfig
+	mon *Monitor
+
+	p         float64
+	round     int
+	lastS     int
+	converged bool
+	seed      int64
+}
+
+// NewAdaptive creates a controller.
+func NewAdaptive(cfg AdaptiveConfig) *Adaptive {
+	cfg.applyDefaults()
+	if cfg.PMin <= 0 || cfg.PMax > 1 || cfg.PMin > cfg.PMax {
+		panic(fmt.Sprintf("badabing: invalid adaptive p range [%v, %v]", cfg.PMin, cfg.PMax))
+	}
+	return &Adaptive{
+		cfg: cfg,
+		mon: NewMonitor(cfg.Monitor),
+		p:   cfg.PMin,
+	}
+}
+
+// P returns the current probe probability.
+func (a *Adaptive) P() float64 { return a.p }
+
+// Round returns how many rounds have completed.
+func (a *Adaptive) Round() int { return a.round }
+
+// Done reports whether measurement should stop: either the estimates
+// converged or the round budget ran out.
+func (a *Adaptive) Done() bool {
+	return a.converged || a.round >= a.cfg.MaxRounds
+}
+
+// Converged reports whether Done is due to convergence rather than the
+// round budget.
+func (a *Adaptive) Converged() bool { return a.converged }
+
+// NextRound returns the schedule for the next round, as slot offsets
+// relative to the round's start (the caller owns absolute placement), and
+// the probability it was drawn at.
+func (a *Adaptive) NextRound(seed int64) ([]Plan, float64) {
+	a.seed = seed
+	plans := Schedule(ScheduleConfig{
+		P:        a.p,
+		N:        a.cfg.RoundSlots,
+		Improved: true,
+		Seed:     seed,
+	})
+	return plans, a.p
+}
+
+// Add records one experiment outcome from the current round.
+func (a *Adaptive) Add(bits []bool) { a.mon.Add(bits) }
+
+// EndRound evaluates the stopping and escalation rules after a round's
+// outcomes have been added.
+func (a *Adaptive) EndRound() {
+	a.round++
+	if a.mon.Converged() {
+		a.converged = true
+		return
+	}
+	_, s := a.mon.Acc.RS()
+	gain := s - a.lastS
+	a.lastS = s
+	if gain < a.cfg.MinBoundaryGain && a.p < a.cfg.PMax {
+		a.p *= a.cfg.Escalation
+		if a.p > a.cfg.PMax {
+			a.p = a.cfg.PMax
+		}
+	}
+}
+
+// Report returns the current estimates.
+func (a *Adaptive) Report() Report { return a.mon.Report() }
+
+// Elapsed returns the virtual measurement time after the completed
+// rounds, at the given slot width.
+func (a *Adaptive) Elapsed(slot time.Duration) time.Duration {
+	if slot == 0 {
+		slot = DefaultSlot
+	}
+	return time.Duration(a.round) * time.Duration(a.cfg.RoundSlots) * slot
+}

@@ -1,0 +1,117 @@
+package badabing
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// driveAdaptive runs the controller against a synthetic series, laying
+// each round's slots consecutively.
+func driveAdaptive(t *testing.T, a *Adaptive, series []bool) {
+	t.Helper()
+	base := int64(0)
+	seed := int64(100)
+	for !a.Done() {
+		plans, _ := a.NextRound(seed)
+		seed++
+		for _, pl := range plans {
+			if base+pl.Slot+int64(pl.Probes) > int64(len(series)) {
+				t.Fatal("series exhausted")
+			}
+			bits := make([]bool, pl.Probes)
+			for j := range bits {
+				bits[j] = series[base+pl.Slot+int64(j)]
+			}
+			a.Add(bits)
+		}
+		base += 6000
+		a.EndRound()
+	}
+}
+
+func TestAdaptiveConvergesOnLossyPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	series, _, _ := synthSeries(rng, 400_000, 400, 14)
+	a := NewAdaptive(AdaptiveConfig{
+		Monitor: MonitorConfig{MinExperiments: 500},
+	})
+	driveAdaptive(t, a, series)
+	if !a.Converged() {
+		t.Fatalf("did not converge in %d rounds", a.Round())
+	}
+	rep := a.Report()
+	if !rep.HasDuration || rep.Frequency <= 0 {
+		t.Fatalf("converged without usable estimates: %+v", rep)
+	}
+}
+
+func TestAdaptiveEscalatesOnQuietPath(t *testing.T) {
+	// Episodes so rare that low-p rounds see almost no boundaries: the
+	// controller must raise p.
+	rng := rand.New(rand.NewSource(72))
+	series, _, _ := synthSeries(rng, 400_000, 20_000, 14)
+	a := NewAdaptive(AdaptiveConfig{
+		MaxRounds: 20,
+		Monitor:   MonitorConfig{MinExperiments: 500},
+	})
+	start := a.P()
+	driveAdaptive(t, a, series)
+	if a.P() <= start {
+		t.Fatalf("p never escalated from %v on a quiet path", start)
+	}
+}
+
+func TestAdaptiveStaysGentleWhenEvidenceFlows(t *testing.T) {
+	// Frequent episodes: boundary evidence arrives fast at p=0.1, so
+	// escalation should be mild or absent before convergence.
+	rng := rand.New(rand.NewSource(73))
+	series, _, _ := synthSeries(rng, 800_000, 150, 14)
+	a := NewAdaptive(AdaptiveConfig{
+		Monitor: MonitorConfig{MinExperiments: 300},
+	})
+	driveAdaptive(t, a, series)
+	if !a.Converged() {
+		t.Fatal("did not converge")
+	}
+	if a.P() > 0.4 {
+		t.Errorf("p escalated to %v despite abundant evidence", a.P())
+	}
+}
+
+func TestAdaptiveRespectsRoundBudget(t *testing.T) {
+	// All-clear path: can never converge (no boundaries), must stop at
+	// MaxRounds with p pinned at PMax.
+	series := make([]bool, 200_000)
+	a := NewAdaptive(AdaptiveConfig{
+		MaxRounds: 5,
+		Monitor:   MonitorConfig{MinExperiments: 100},
+	})
+	driveAdaptive(t, a, series)
+	if a.Converged() {
+		t.Fatal("converged on a lossless path")
+	}
+	if a.Round() != 5 {
+		t.Fatalf("ran %d rounds, want 5", a.Round())
+	}
+	if a.P() != 0.9 {
+		t.Fatalf("p = %v after persistent silence, want PMax 0.9", a.P())
+	}
+}
+
+func TestAdaptiveElapsed(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{})
+	a.EndRound()
+	a.EndRound()
+	if got := a.Elapsed(0); got != 2*6000*DefaultSlot {
+		t.Fatalf("elapsed = %v", got)
+	}
+}
+
+func TestAdaptiveInvalidRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid range accepted")
+		}
+	}()
+	NewAdaptive(AdaptiveConfig{PMin: 0.8, PMax: 0.2})
+}

@@ -1,0 +1,122 @@
+package badabing
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// recordSynthetic drives a Recorder over a synthetic series.
+func recordSynthetic(seed int64, n int) (*Recorder, float64, float64) {
+	rng := rand.New(rand.NewSource(seed))
+	series, f, d := synthSeries(rng, n, 500, 14)
+	plans := Schedule(ScheduleConfig{P: 0.2, N: int64(n), Improved: true, Seed: seed + 1})
+	rec := &Recorder{}
+	for _, pl := range plans {
+		bits := make([]bool, pl.Probes)
+		for j := range bits {
+			bits[j] = series[pl.Slot+int64(j)]
+		}
+		rec.Add(bits)
+	}
+	return rec, f, d
+}
+
+func TestBootstrapCoversTruth(t *testing.T) {
+	rec, trueF, trueD := recordSynthetic(51, 2_000_000)
+	freq, dur, durOK := rec.Bootstrap(BootstrapConfig{Resamples: 100, Seed: 7})
+	if freq.Lo >= freq.Hi {
+		t.Fatalf("degenerate frequency interval: %+v", freq)
+	}
+	if trueF < freq.Lo || trueF > freq.Hi {
+		t.Errorf("true F %v outside 95%% interval [%v, %v]", trueF, freq.Lo, freq.Hi)
+	}
+	if !durOK {
+		t.Fatal("no duration interval despite many boundaries")
+	}
+	trueDs := trueD * DefaultSlot.Seconds()
+	// The duration interval is in seconds; allow some slack since the
+	// estimator itself carries bias at finite samples.
+	if trueDs < dur.Lo*0.7 || trueDs > dur.Hi*1.3 {
+		t.Errorf("true D %.4fs far outside interval [%.4f, %.4f]", trueDs, dur.Lo, dur.Hi)
+	}
+}
+
+func TestBootstrapPointEstimateInsideInterval(t *testing.T) {
+	rec, _, _ := recordSynthetic(52, 1_000_000)
+	freq, _, _ := rec.Bootstrap(BootstrapConfig{Resamples: 100, Seed: 9})
+	point := rec.Acc.Frequency()
+	if point < freq.Lo || point > freq.Hi {
+		t.Errorf("point estimate %v outside its own bootstrap interval [%v, %v]",
+			point, freq.Lo, freq.Hi)
+	}
+}
+
+func TestBootstrapIntervalShrinksWithData(t *testing.T) {
+	small, _, _ := recordSynthetic(53, 400_000)
+	big, _, _ := recordSynthetic(53, 4_000_000)
+	fs, _, _ := small.Bootstrap(BootstrapConfig{Resamples: 100, Seed: 3})
+	fb, _, _ := big.Bootstrap(BootstrapConfig{Resamples: 100, Seed: 3})
+	if fb.Hi-fb.Lo >= fs.Hi-fs.Lo {
+		t.Errorf("interval did not shrink: small width %v, big width %v",
+			fs.Hi-fs.Lo, fb.Hi-fb.Lo)
+	}
+}
+
+func TestBootstrapEmptyRecorder(t *testing.T) {
+	rec := &Recorder{}
+	freq, _, durOK := rec.Bootstrap(BootstrapConfig{})
+	if durOK {
+		t.Fatal("duration interval from no data")
+	}
+	if freq.Lo != 0 || freq.Hi != 0 {
+		t.Fatalf("non-trivial interval from no data: %+v", freq)
+	}
+}
+
+func TestBootstrapNoBoundaries(t *testing.T) {
+	rec := &Recorder{}
+	for i := 0; i < 500; i++ {
+		rec.Add([]bool{false, false})
+	}
+	_, _, durOK := rec.Bootstrap(BootstrapConfig{Resamples: 50})
+	if durOK {
+		t.Fatal("duration interval despite zero boundary observations")
+	}
+}
+
+func TestRecorderMatchesAccumulator(t *testing.T) {
+	rec := &Recorder{}
+	acc := &Accumulator{}
+	outcomes := [][]bool{
+		{false, false}, {false, true}, {true, true},
+		{true, false, false}, {false, true, true},
+	}
+	for _, o := range outcomes {
+		rec.Add(o)
+		acc.Add(o)
+	}
+	if rec.Acc.Frequency() != acc.Frequency() {
+		t.Fatal("recorder diverged from accumulator")
+	}
+	r1, s1 := rec.Acc.RS()
+	r2, s2 := acc.RS()
+	if r1 != r2 || s1 != s2 {
+		t.Fatal("RS counts diverged")
+	}
+	u1, v1 := rec.Acc.UV()
+	u2, v2 := acc.UV()
+	if u1 != u2 || v1 != v2 {
+		t.Fatal("UV counts diverged")
+	}
+}
+
+func TestPercentileInterval(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	iv := percentileInterval(xs, 0.90)
+	if iv.Lo != 5 || iv.Hi != 95 {
+		t.Fatalf("90%% interval [%v, %v], want [5, 95]", iv.Lo, iv.Hi)
+	}
+}

@@ -1,0 +1,123 @@
+package badabing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExtendedPairsCounting(t *testing.T) {
+	acc := &Accumulator{ExtendedPairs: true}
+	acc.AddExtended(false, true, true) // pairs: 01, 11
+	r, s := acc.RS()
+	if r != 2 || s != 1 {
+		t.Fatalf("R,S = %d,%d; want 2,1", r, s)
+	}
+	if acc.M() != 1 {
+		t.Fatalf("M = %d, want 1 (pairs must not count as experiments)", acc.M())
+	}
+	acc.AddExtended(true, false, false) // pairs: 10, 00
+	r, s = acc.RS()
+	if r != 3 || s != 2 {
+		t.Fatalf("R,S = %d,%d; want 3,2", r, s)
+	}
+}
+
+func TestExtendedPairsOffByDefault(t *testing.T) {
+	acc := &Accumulator{}
+	acc.AddExtended(false, true, true)
+	if r, s := acc.RS(); r != 0 || s != 0 {
+		t.Fatalf("R,S = %d,%d without ExtendedPairs; want 0,0", r, s)
+	}
+}
+
+// runSyntheticPairs mirrors runSynthetic with ExtendedPairs enabled.
+func runSyntheticPairs(t *testing.T, seed int64, n int, extendedPairs bool) (est float64, trueD float64, boundaries int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	series, _, d := synthSeries(rng, n, 500, 14)
+	plans := Schedule(ScheduleConfig{P: 0.2, N: int64(n), Improved: true, Seed: seed + 1})
+	acc := &Accumulator{ExtendedPairs: extendedPairs}
+	for _, pl := range plans {
+		bits := make([]bool, pl.Probes)
+		for j := range bits {
+			bits[j] = series[pl.Slot+int64(j)]
+		}
+		acc.Add(bits)
+	}
+	slots, ok := acc.DurationSlots()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	_, s := acc.RS()
+	return slots, d, s
+}
+
+func TestExtendedPairsConsistent(t *testing.T) {
+	est, trueD, _ := runSyntheticPairs(t, 31, 4_000_000, true)
+	if math.Abs(est-trueD) > 0.15*trueD {
+		t.Errorf("D̂ = %v with ExtendedPairs, true %v", est, trueD)
+	}
+}
+
+func TestExtendedPairsIncreaseBoundarySamples(t *testing.T) {
+	_, _, sWithout := runSyntheticPairs(t, 32, 1_000_000, false)
+	_, _, sWith := runSyntheticPairs(t, 32, 1_000_000, true)
+	if sWith <= sWithout {
+		t.Errorf("S with pairs %d not above S without %d", sWith, sWithout)
+	}
+}
+
+func TestExtendedPairsShrinkStdDev(t *testing.T) {
+	runOne := func(pairs bool) float64 {
+		rng := rand.New(rand.NewSource(33))
+		series, _, _ := synthSeries(rng, 1_000_000, 500, 14)
+		plans := Schedule(ScheduleConfig{P: 0.2, N: int64(len(series)), Improved: true, Seed: 34})
+		acc := &Accumulator{ExtendedPairs: pairs}
+		for _, pl := range plans {
+			bits := make([]bool, pl.Probes)
+			for j := range bits {
+				bits[j] = series[pl.Slot+int64(j)]
+			}
+			acc.Add(bits)
+		}
+		sd, ok := acc.DurationStdDev()
+		if !ok {
+			t.Fatal("no stddev")
+		}
+		return sd
+	}
+	if with, without := runOne(true), runOne(false); with >= without {
+		t.Errorf("stddev with pairs %v not below without %v", with, without)
+	}
+}
+
+func TestScheduleExtendedFraction(t *testing.T) {
+	count := func(frac float64) float64 {
+		plans := Schedule(ScheduleConfig{
+			P: 0.5, N: 100_000, Improved: true, ExtendedFraction: frac, Seed: 41,
+		})
+		ext := 0
+		for _, pl := range plans {
+			if pl.Probes == 3 {
+				ext++
+			}
+		}
+		return float64(ext) / float64(len(plans))
+	}
+	if got := count(0.2); got < 0.17 || got > 0.23 {
+		t.Errorf("extended fraction %v, want ≈0.2", got)
+	}
+	if got := count(0.8); got < 0.77 || got > 0.83 {
+		t.Errorf("extended fraction %v, want ≈0.8", got)
+	}
+}
+
+func TestScheduleExtendedFractionValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fraction > 1 accepted")
+		}
+	}()
+	Schedule(ScheduleConfig{P: 0.5, N: 100, Improved: true, ExtendedFraction: 1.5})
+}

@@ -1,0 +1,57 @@
+package badabing
+
+// Parametric duration estimation (§8's "alternative, parametric methods
+// for inferring loss characteristics from our probe process").
+//
+// Model: episode lengths are geometric — at every congested slot the
+// episode continues with probability g, so the mean duration is
+// D = 1/(1−g) slots. Extended experiments observe this directly: among
+// outcomes whose first two digits are 01 (an episode starting at the
+// middle slot), the third digit is 1 with probability g. Symmetrically,
+// among outcomes ending in 10 (an episode that was alive at the middle
+// slot and ended), the *first* digit tells whether it had already lasted
+// more than one slot.
+//
+// Under the detection model, a misdetected experiment reports all zeros,
+// so conditioning on a nonzero prefix leaves the continuation bit
+// unbiased when detection probabilities for the participating patterns
+// agree (the basic algorithm's assumption). Unlike the nonparametric
+// estimator, this one uses the 010 outcomes as signal — they are
+// single-slot episodes, perfectly legal under the geometric model —
+// which makes it the right tool exactly where the nonparametric
+// validation rejects (episodes at or below the slot scale).
+
+// GeometricContinuation returns the MLE ĝ of the per-slot episode
+// continuation probability from extended experiments, and the number of
+// Bernoulli observations it is based on. ok is false with no data.
+func (a *Accumulator) GeometricContinuation() (g float64, n int, ok bool) {
+	c011 := a.c3[key3(false, true, true)]
+	c110 := a.c3[key3(true, true, false)]
+	c010 := a.c3[key3(false, true, false)]
+	// Forward view (01x: episode starts at the middle slot): 011 means
+	// it continued (probability g), 010 means it ended after one slot.
+	// Backward view (x10: episode ends at the middle slot): 110 means
+	// it had lasted at least two slots (probability g, by the
+	// time-reversibility of geometric lengths), 010 again means a
+	// single-slot episode. A 010 outcome therefore counts once in each
+	// direction, keeping the two views symmetric.
+	cont := c011 + c110
+	stop := 2 * c010
+	n = cont + stop
+	if n == 0 {
+		return 0, 0, false
+	}
+	return float64(cont) / float64(n), n, true
+}
+
+// DurationSlotsGeometric returns the parametric duration estimate
+// D̂ = 1/(1−ĝ) in slots. ok is false when no extended experiment observed
+// an episode interior, or when ĝ = 1 (no episode end ever observed — the
+// estimate would be unbounded).
+func (a *Accumulator) DurationSlotsGeometric() (slots float64, ok bool) {
+	g, _, ok := a.GeometricContinuation()
+	if !ok || g >= 1 {
+		return 0, false
+	}
+	return 1 / (1 - g), true
+}

@@ -1,0 +1,124 @@
+package badabing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthGeometric generates an alternating renewal series with geometric
+// episode lengths of mean meanLen slots and geometric gaps of mean
+// gapMean. Returns the true mean episode length over the realized series.
+func synthGeometric(rng *rand.Rand, n int, gapMean, meanLen float64) ([]bool, float64) {
+	series := make([]bool, n)
+	g := 1 - 1/meanLen
+	congested, episodes := 0, 0
+	i := 0
+	for i < n {
+		i += 1 + int(rng.ExpFloat64()*gapMean)
+		if i >= n {
+			break
+		}
+		episodes++
+		for i < n {
+			series[i] = true
+			congested++
+			i++
+			if rng.Float64() >= g {
+				break
+			}
+		}
+	}
+	if episodes == 0 {
+		return series, 0
+	}
+	return series, float64(congested) / float64(episodes)
+}
+
+func probeSeries(series []bool, p float64, seed int64) *Accumulator {
+	plans := Schedule(ScheduleConfig{P: p, N: int64(len(series)), Improved: true, Seed: seed})
+	acc := &Accumulator{}
+	for _, pl := range plans {
+		bits := make([]bool, pl.Probes)
+		for j := range bits {
+			bits[j] = series[pl.Slot+int64(j)]
+		}
+		acc.Add(bits)
+	}
+	return acc
+}
+
+func TestGeometricEstimatorConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, meanLen := range []float64{2, 5, 14} {
+		series, trueD := synthGeometric(rng, 4_000_000, 300, meanLen)
+		if trueD == 0 {
+			t.Fatal("no episodes")
+		}
+		acc := probeSeries(series, 0.3, 62)
+		got, ok := acc.DurationSlotsGeometric()
+		if !ok {
+			t.Fatalf("meanLen=%v: no parametric estimate", meanLen)
+		}
+		if math.Abs(got-trueD) > 0.2*trueD {
+			t.Errorf("meanLen=%v: parametric D̂ = %.2f, true %.2f", meanLen, got, trueD)
+		}
+	}
+}
+
+func TestGeometricEstimatorHandlesSubSlotEpisodes(t *testing.T) {
+	// Episodes of exactly 1 slot, where the nonparametric validation
+	// rejects (every interior observation is a 010 violation): the
+	// parametric estimator is the right tool and must return ≈1 slot.
+	rng := rand.New(rand.NewSource(63))
+	series, trueD := synthGeometric(rng, 2_000_000, 100, 1.0000001)
+	acc := probeSeries(series, 0.4, 64)
+	if trueD < 0.99 || trueD > 1.01 {
+		t.Fatalf("series not single-slot: true %v", trueD)
+	}
+	got, ok := acc.DurationSlotsGeometric()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if got < 0.95 || got > 1.2 {
+		t.Errorf("parametric D̂ = %v for single-slot episodes, want ≈1", got)
+	}
+	// And the nonparametric validation indeed flags this regime.
+	if acc.Validate().ViolationRate < 0.2 {
+		t.Errorf("expected high violation rate, got %v", acc.Validate().ViolationRate)
+	}
+}
+
+func TestGeometricEstimatorUndefinedCases(t *testing.T) {
+	acc := &Accumulator{}
+	if _, ok := acc.DurationSlotsGeometric(); ok {
+		t.Fatal("estimate from empty accumulator")
+	}
+	// Only continuations, never an end: ĝ = 1, unbounded.
+	acc.AddExtended(false, true, true)
+	acc.AddExtended(true, true, false)
+	if _, _, ok := acc.GeometricContinuation(); !ok {
+		t.Fatal("continuation MLE should be defined")
+	}
+	if _, ok := acc.DurationSlotsGeometric(); ok {
+		t.Fatal("estimate should be undefined at ĝ = 1")
+	}
+}
+
+func TestGeometricContinuationCounts(t *testing.T) {
+	acc := &Accumulator{}
+	acc.AddExtended(false, true, true)  // 011: forward continuation
+	acc.AddExtended(true, true, false)  // 110: backward continuation
+	acc.AddExtended(false, true, false) // 010: one stop in each direction
+	g, n, ok := acc.GeometricContinuation()
+	if !ok || n != 4 {
+		t.Fatalf("n = %d (%v), want 4", n, ok)
+	}
+	if g != 0.5 {
+		t.Fatalf("ĝ = %v, want 0.5", g)
+	}
+	d, ok := acc.DurationSlotsGeometric()
+	if !ok || d != 2 {
+		t.Fatalf("D̂ = %v (%v), want 2", d, ok)
+	}
+}

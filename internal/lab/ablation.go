@@ -1,0 +1,247 @@
+package lab
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"badabing/internal/badabing"
+	"badabing/internal/probe"
+	"badabing/internal/stats"
+)
+
+// Ablations probe the design choices DESIGN.md calls out: probe placement
+// (per-slot Bernoulli vs Poisson pairs), delay-augmented marking vs
+// loss-only marking, basic vs improved estimation, slot width, and probe
+// size. Each returns a small table comparing estimator quality under the
+// CBR workload where ground truth is sharpest.
+
+// AblationRow is a labelled (frequency, duration) estimate against truth.
+type AblationRow struct {
+	Variant string
+	TrueF   float64
+	EstF    float64
+	TrueD   float64
+	EstD    float64
+}
+
+// AblationResult renders an ablation comparison.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+func (a AblationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, a.Title)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "variant\ttrue freq\test freq\ttrue dur (s)\test dur (s)")
+	for _, r := range a.Rows {
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.3f\t%.3f\n", r.Variant, r.TrueF, r.EstF, r.TrueD, r.EstD)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// poissonPairPlans builds experiments whose start slots come from a
+// Poisson process with the same expected experiment count as the per-slot
+// Bernoulli design — the "what if we kept Poisson placement" baseline.
+func poissonPairPlans(p float64, n int64, seed int64) []badabing.Plan {
+	rng := rand.New(rand.NewSource(seed))
+	meanGap := 1 / p // slots between experiment starts
+	var plans []badabing.Plan
+	slot := 0.0
+	for {
+		slot += rng.ExpFloat64() * meanGap
+		s := int64(slot)
+		if s+2 > n {
+			break
+		}
+		plans = append(plans, badabing.Plan{Slot: s, Probes: 2})
+	}
+	return plans
+}
+
+// runWithPlans measures the CBR workload with an explicit plan set.
+func runWithPlans(cfg RunConfig, plans []badabing.Plan, marker badabing.MarkerConfig, slot time.Duration, bunch int) AblationRow {
+	path := NewPath(CBRUniform, cfg)
+	bb := probe.StartBadabing(path.Sim, path.D, probeFlowID, probe.BadabingConfig{
+		Plans:           plans,
+		Slot:            slot,
+		Marker:          marker,
+		PacketsPerProbe: bunch,
+	})
+	path.Run(cfg.Horizon)
+	truth := path.Mon.Truth(cfg.Horizon, slot)
+	rep := bb.Report()
+	return AblationRow{
+		TrueF: truth.Frequency, EstF: rep.Frequency,
+		TrueD: truth.Duration.Mean(), EstD: rep.Duration,
+	}
+}
+
+// AblationPlacement compares per-slot Bernoulli placement (the paper's
+// geometric design) against Poisson-placed probe pairs at the same
+// expected probe budget.
+func AblationPlacement(cfg RunConfig) AblationResult {
+	cfg.applyDefaults()
+	const p = 0.3
+	slot := badabing.DefaultSlot
+	n := int64(cfg.Horizon / slot)
+	marker := badabing.RecommendedMarker(p, slot)
+
+	bern := runWithPlans(cfg, badabing.Schedule(badabing.ScheduleConfig{
+		P: p, N: n, Seed: cfg.Seed + 100,
+	}), marker, slot, 3)
+	bern.Variant = "per-slot Bernoulli (BADABING)"
+	pois := runWithPlans(cfg, poissonPairPlans(p, n, cfg.Seed+100), marker, slot, 3)
+	pois.Variant = "Poisson-placed pairs"
+	return AblationResult{
+		Title: "Ablation: probe placement at equal budget (CBR, p=0.3)",
+		Rows:  []AblationRow{bern, pois},
+	}
+}
+
+// AblationMarking compares loss-only congestion marking against the §6.1
+// loss+delay marking at a low probe rate, where the delay channel is what
+// rescues accuracy.
+func AblationMarking(cfg RunConfig) AblationResult {
+	cfg.applyDefaults()
+	const p = 0.2
+	slot := badabing.DefaultSlot
+	plans := badabing.Schedule(badabing.ScheduleConfig{
+		P: p, N: int64(cfg.Horizon / slot), Seed: cfg.Seed + 100,
+	})
+	withDelay := runWithPlans(cfg, plans, badabing.RecommendedMarker(p, slot), slot, 3)
+	withDelay.Variant = "loss + one-way-delay marking"
+	lossOnly := runWithPlans(cfg, plans, badabing.MarkerConfig{Alpha: 0, Tau: 0}, slot, 3)
+	lossOnly.Variant = "loss-only marking"
+	return AblationResult{
+		Title: "Ablation: congestion marking (CBR, p=0.2)",
+		Rows:  []AblationRow{withDelay, lossOnly},
+	}
+}
+
+// AblationEstimator compares the basic and improved duration estimators
+// on the same improved-design run.
+func AblationEstimator(cfg RunConfig) AblationResult {
+	cfg.applyDefaults()
+	const p = 0.5
+	slot := badabing.DefaultSlot
+	path := NewPath(CBRUniform, cfg)
+	plans := badabing.Schedule(badabing.ScheduleConfig{
+		P: p, N: int64(cfg.Horizon / slot), Improved: true, Seed: cfg.Seed + 100,
+	})
+	bb := probe.StartBadabing(path.Sim, path.D, probeFlowID, probe.BadabingConfig{
+		Plans:  plans,
+		Marker: badabing.RecommendedMarker(p, slot),
+	})
+	path.Run(cfg.Horizon)
+	truth := path.Mon.Truth(cfg.Horizon, slot)
+	rep := bb.Report()
+	res := AblationResult{Title: "Ablation: basic vs improved duration estimator (CBR, p=0.5)"}
+	res.Rows = append(res.Rows, AblationRow{
+		Variant: "basic  D̂ = 2(R/S−1)+1",
+		TrueF:   truth.Frequency, EstF: rep.Frequency,
+		TrueD: truth.Duration.Mean(), EstD: rep.DurationBasic,
+	})
+	res.Rows = append(res.Rows, AblationRow{
+		Variant: "improved  D̂ = (2V/U)(R/S−1)+1",
+		TrueF:   truth.Frequency, EstF: rep.Frequency,
+		TrueD: truth.Duration.Mean(), EstD: rep.DurationImproved,
+	})
+	return res
+}
+
+// AblationSlot sweeps the discretization width against fixed 68 ms
+// episodes (§7: the discretization need only be finer than the durations
+// being estimated; far coarser slots cannot resolve them).
+func AblationSlot(cfg RunConfig) AblationResult {
+	cfg.applyDefaults()
+	res := AblationResult{Title: "Ablation: slot width vs 68ms episodes (CBR, p=0.3)"}
+	for _, slot := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
+		const p = 0.3
+		plans := badabing.Schedule(badabing.ScheduleConfig{
+			P: p, N: int64(cfg.Horizon / slot), Seed: cfg.Seed + 100,
+		})
+		row := runWithPlans(cfg, plans, badabing.RecommendedMarker(p, slot), slot, 3)
+		row.Variant = fmt.Sprintf("slot = %v", slot)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// AblationProbeSize compares 1-packet and 3-packet probes at the same
+// experiment schedule: multi-packet probes detect episodes that single
+// packets sail through (Figure 7's mechanism, measured end to end).
+func AblationProbeSize(cfg RunConfig) AblationResult {
+	cfg.applyDefaults()
+	const p = 0.3
+	slot := badabing.DefaultSlot
+	plans := badabing.Schedule(badabing.ScheduleConfig{
+		P: p, N: int64(cfg.Horizon / slot), Seed: cfg.Seed + 100,
+	})
+	res := AblationResult{Title: "Ablation: packets per probe (CBR, p=0.3)"}
+	for _, bunch := range []int{1, 3} {
+		row := runWithPlans(cfg, plans, badabing.RecommendedMarker(p, slot), slot, bunch)
+		row.Variant = fmt.Sprintf("%d packet(s) per probe", bunch)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// AblationExtendedPairs compares the improved design with and without the
+// §5.5 modification (extended experiments' slot pairs feeding the duration
+// estimator) on the same schedule: the pairs increase the effective
+// boundary sample without any extra probes.
+func AblationExtendedPairs(cfg RunConfig) AblationResult {
+	cfg.applyDefaults()
+	const p = 0.3
+	slot := badabing.DefaultSlot
+	res := AblationResult{Title: "Ablation: §5.5 extended-pair reuse (CBR, p=0.3, improved design)"}
+	for _, pairs := range []bool{false, true} {
+		path := NewPath(CBRUniform, cfg)
+		plans := badabing.Schedule(badabing.ScheduleConfig{
+			P: p, N: int64(cfg.Horizon / slot), Improved: true, Seed: cfg.Seed + 100,
+		})
+		bb := probe.StartBadabing(path.Sim, path.D, probeFlowID, probe.BadabingConfig{
+			Plans:         plans,
+			Marker:        badabing.RecommendedMarker(p, slot),
+			ExtendedPairs: pairs,
+		})
+		path.Run(cfg.Horizon)
+		truth := path.Mon.Truth(cfg.Horizon, slot)
+		rep := bb.Report()
+		row := AblationRow{
+			Variant: "pairs off",
+			TrueF:   truth.Frequency, EstF: rep.Frequency,
+			TrueD: truth.Duration.Mean(), EstD: rep.Duration,
+		}
+		if pairs {
+			row.Variant = "pairs on (§5.5)"
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// MeanFreqError is the mean relative frequency error over rows, used by
+// the benchmark harness to report estimate quality as a metric.
+func MeanFreqError(rows []AblationRow) float64 {
+	var s stats.Summary
+	for _, r := range rows {
+		if r.TrueF > 0 {
+			s.Add(absf(r.EstF-r.TrueF) / r.TrueF)
+		}
+	}
+	return s.Mean()
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,106 @@
+package lab
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblationPlacementBothDefined(t *testing.T) {
+	res := AblationPlacement(RunConfig{Horizon: 200 * time.Second, Seed: 21})
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.EstF <= 0 || r.TrueF <= 0 {
+			t.Errorf("%s: missing frequency (est %v, true %v)", r.Variant, r.EstF, r.TrueF)
+		}
+		// Both placements are unbiased for frequency; both should land
+		// in the right ballpark.
+		if ratio := r.EstF / r.TrueF; ratio < 0.3 || ratio > 3 {
+			t.Errorf("%s: freq ratio %v", r.Variant, ratio)
+		}
+	}
+}
+
+func TestAblationMarkingDelayHelpsAtLowP(t *testing.T) {
+	res := AblationMarking(RunConfig{Horizon: 300 * time.Second, Seed: 22})
+	withDelay, lossOnly := res.Rows[0], res.Rows[1]
+	// Loss-only marking can only undercount congested slots relative to
+	// loss+delay marking on the same schedule.
+	if lossOnly.EstF > withDelay.EstF {
+		t.Errorf("loss-only freq %.4f exceeds loss+delay %.4f", lossOnly.EstF, withDelay.EstF)
+	}
+	errWith := absf(withDelay.EstF - withDelay.TrueF)
+	errWithout := absf(lossOnly.EstF - lossOnly.TrueF)
+	if errWith > errWithout {
+		t.Logf("note: delay marking did not improve frequency here (%.4f vs %.4f)", errWith, errWithout)
+	}
+}
+
+func TestAblationEstimatorBothDefined(t *testing.T) {
+	res := AblationEstimator(RunConfig{Horizon: 300 * time.Second, Seed: 23})
+	for _, r := range res.Rows {
+		if r.EstD <= 0 {
+			t.Errorf("%s: no duration estimate", r.Variant)
+		}
+		if ratio := r.EstD / r.TrueD; ratio < 0.25 || ratio > 4 {
+			t.Errorf("%s: duration ratio %v (est %.3f true %.3f)", r.Variant, ratio, r.EstD, r.TrueD)
+		}
+	}
+}
+
+func TestAblationSlotCoarseCannotResolve(t *testing.T) {
+	res := AblationSlot(RunConfig{Horizon: 200 * time.Second, Seed: 24})
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	fine, mid, coarse := res.Rows[0], res.Rows[1], res.Rows[2]
+	// 68 ms episodes span 3.4 slots at 20 ms: the coarse estimate is
+	// quantization-dominated. Relative duration error should be worst
+	// (or at least not best) at the coarsest slot.
+	errOf := func(r AblationRow) float64 { return absf(r.EstD-r.TrueD) / r.TrueD }
+	if errOf(coarse) < errOf(fine) && errOf(coarse) < errOf(mid) {
+		t.Errorf("coarse slot gave the best duration accuracy: fine %.2f mid %.2f coarse %.2f",
+			errOf(fine), errOf(mid), errOf(coarse))
+	}
+}
+
+func TestAblationProbeSizeMorePacketsDetectMore(t *testing.T) {
+	res := AblationProbeSize(RunConfig{Horizon: 300 * time.Second, Seed: 25})
+	one, three := res.Rows[0], res.Rows[1]
+	// Single-packet probes sail through episodes more often (Figure 7),
+	// so their frequency estimate cannot exceed the 3-packet one by
+	// much.
+	if one.EstF > three.EstF*1.3 {
+		t.Errorf("1-packet freq %.4f unexpectedly above 3-packet %.4f", one.EstF, three.EstF)
+	}
+}
+
+func TestMeanFreqError(t *testing.T) {
+	rows := []AblationRow{
+		{TrueF: 0.01, EstF: 0.012},
+		{TrueF: 0.01, EstF: 0.008},
+	}
+	if got := MeanFreqError(rows); absf(got-0.2) > 1e-9 {
+		t.Fatalf("MeanFreqError = %v, want 0.2", got)
+	}
+	if got := MeanFreqError(nil); got != 0 {
+		t.Fatalf("MeanFreqError(nil) = %v, want 0", got)
+	}
+}
+
+func TestAblationExtendedPairsBothDefined(t *testing.T) {
+	res := AblationExtendedPairs(RunConfig{Horizon: 200 * time.Second, Seed: 26})
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	off, on := res.Rows[0], res.Rows[1]
+	if off.EstD <= 0 || on.EstD <= 0 {
+		t.Fatalf("missing duration estimates: off %.3f on %.3f", off.EstD, on.EstD)
+	}
+	// Identical schedule and traffic: frequency estimates are identical
+	// (pairs only affect R/S, not zi).
+	if off.EstF != on.EstF {
+		t.Errorf("frequency changed with pairs: %.5f vs %.5f", off.EstF, on.EstF)
+	}
+}

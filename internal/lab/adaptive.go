@@ -1,0 +1,180 @@
+package lab
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"badabing/internal/badabing"
+	"badabing/internal/capture"
+	"badabing/internal/probe"
+	"badabing/internal/simnet"
+	"badabing/internal/traffic"
+)
+
+// AdaptiveStudy quantifies what §8-style adaptivity buys. Because the
+// boundary-evidence rate scales with p while time-to-converge scales with
+// 1/p, the total probe *cost* of reaching a validated estimate is roughly
+// p-invariant — what differs is whether a given fixed rate converges
+// within the time budget at all. §7 says choosing p requires a prior
+// estimate of the loss-event rate L; the adaptive controller removes that
+// requirement: it converges wherever some fixed rate would have, at a
+// bounded escalation premium, without knowing L in advance. The study
+// compares fixed high, fixed low and adaptive probing on a lossy and a
+// quiet path under one time budget.
+type AdaptiveStudyRow struct {
+	Path      string
+	Strategy  string
+	Packets   int
+	Converged bool
+	// FinalP is the probe probability at the end (for the adaptive
+	// strategy, where it escalated to; fixed strategies report their
+	// constant).
+	FinalP float64
+	EstF   float64
+	TrueF  float64
+}
+
+// AdaptiveStudyResult renders the comparison.
+type AdaptiveStudyResult struct {
+	Rows []AdaptiveStudyRow
+}
+
+func (r AdaptiveStudyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Adaptive extension: probe cost to a validated estimate")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "path\tstrategy\tprobe pkts\tconverged\tfinal p\test freq\ttrue freq")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%v\t%.2f\t%.4f\t%.4f\n",
+			row.Path, row.Strategy, row.Packets, row.Converged, row.FinalP, row.EstF, row.TrueF)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// adaptivePath describes one workload regime for the study.
+type adaptivePath struct {
+	name    string
+	spacing time.Duration
+}
+
+// AdaptiveStudy runs the comparison. cfg.Horizon is the per-strategy
+// virtual-time probe budget.
+func AdaptiveStudy(cfg RunConfig) AdaptiveStudyResult {
+	cfg.applyDefaults()
+	paths := []adaptivePath{
+		{"lossy (episodes ≈4s)", 4 * time.Second},
+		{"quiet (episodes ≈45s)", 45 * time.Second},
+	}
+	var out AdaptiveStudyResult
+	for _, path := range paths {
+		for _, strat := range []string{"fixed p=0.9", "fixed p=0.1", "adaptive"} {
+			out.Rows = append(out.Rows, runAdaptiveStrategy(path, strat, cfg))
+		}
+	}
+	return out
+}
+
+// monCriteria is the convergence bar shared by all strategies.
+func monCriteria() badabing.MonitorConfig {
+	return badabing.MonitorConfig{
+		MinExperiments: 1000,
+		Criteria:       badabing.Criteria{MinBoundarySamples: 20},
+	}
+}
+
+// newStudyPath builds a CBR-episode path with the given mean spacing.
+func newStudyPath(path adaptivePath, cfg RunConfig) (*simnet.Sim, *simnet.Dumbbell, *capture.Monitor) {
+	sim := simnet.New()
+	d := simnet.NewDumbbell(sim, simnet.DumbbellConfig{})
+	ids := traffic.NewIDSpace(1000)
+	traffic.NewEpisodeInjector(sim, d, ids, traffic.EpisodeInjectorConfig{
+		MeanSpacing:     path.spacing,
+		Overload:        4,
+		BaseUtilization: 0.25,
+		Seed:            cfg.Seed,
+	})
+	mon := capture.Attach(sim, d.Bottleneck, capture.Config{})
+	return sim, d, mon
+}
+
+const studyRoundSlots = 6000 // 30 s at the default slot
+
+func runAdaptiveStrategy(path adaptivePath, strat string, cfg RunConfig) AdaptiveStudyRow {
+	slot := badabing.DefaultSlot
+	row := AdaptiveStudyRow{Path: path.name, Strategy: strat}
+	sim, d, mon := newStudyPath(path, cfg)
+
+	if strat == "adaptive" {
+		ctrl := badabing.NewAdaptive(badabing.AdaptiveConfig{
+			RoundSlots: studyRoundSlots,
+			MaxRounds:  int(cfg.Horizon / (studyRoundSlots * slot)),
+			Monitor:    monCriteria(),
+		})
+		// cursor tracks the absolute slot index; each round leaves a
+		// small drain gap so in-flight probes land before the next
+		// round's earliest slot.
+		const drainSlots = 300 // 1.5 s at 5 ms
+		cursor := int64(0)
+		seed := cfg.Seed + 500
+		for !ctrl.Done() {
+			plans, p := ctrl.NextRound(seed)
+			shifted := make([]badabing.Plan, len(plans))
+			for i, pl := range plans {
+				shifted[i] = badabing.Plan{Slot: cursor + pl.Slot, Probes: pl.Probes}
+			}
+			bb := probe.StartBadabing(sim, d, probeFlowID+uint64(seed), probe.BadabingConfig{
+				Plans:  shifted,
+				Marker: badabing.RecommendedMarker(p, slot),
+			})
+			seed++
+			cursor += studyRoundSlots
+			sim.Run(time.Duration(cursor) * slot) // round ends
+			cursor += drainSlots
+			sim.Run(time.Duration(cursor) * slot) // in-flight probes land
+			sent, _ := bb.PacketCounts()
+			row.Packets += sent
+			ctrl.MergeRound(bb.Counts())
+		}
+		row.Converged = ctrl.Converged()
+		row.FinalP = ctrl.P()
+		row.EstF = ctrl.Report().Frequency
+		row.TrueF = mon.Truth(time.Duration(cursor)*slot, slot).Frequency
+		return row
+	}
+
+	pFixed := 0.9
+	if strat == "fixed p=0.1" {
+		pFixed = 0.1
+	}
+	plans := badabing.Schedule(badabing.ScheduleConfig{
+		P: pFixed, N: int64(cfg.Horizon / slot), Improved: true, Seed: cfg.Seed + 500,
+	})
+	bb := probe.StartBadabing(sim, d, probeFlowID, probe.BadabingConfig{
+		Plans:  plans,
+		Marker: badabing.RecommendedMarker(pFixed, slot),
+	})
+	// Advance round by round against the same convergence bar; probes
+	// scheduled past the stopping time are never sent, so PacketCounts
+	// reflects the true cost.
+	mon2 := badabing.NewMonitor(monCriteria())
+	elapsed := time.Duration(0)
+	for elapsed < cfg.Horizon {
+		elapsed += studyRoundSlots * slot
+		sim.Run(elapsed + time.Second)
+		mon2.Acc = badabing.Accumulator{Slot: slot}
+		mon2.Acc.Merge(bb.Counts())
+		if mon2.Converged() {
+			row.Converged = true
+			break
+		}
+	}
+	sent, _ := bb.PacketCounts()
+	row.Packets = sent
+	row.FinalP = pFixed
+	row.EstF = mon2.Report().Frequency
+	row.TrueF = mon.Truth(elapsed, slot).Frequency
+	return row
+}

@@ -1,0 +1,59 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAdaptiveStudy(t *testing.T) {
+	res := AdaptiveStudy(RunConfig{Horizon: 600 * time.Second, Seed: 51})
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	byKey := map[string]AdaptiveStudyRow{}
+	for _, r := range res.Rows {
+		byKey[r.Path+"/"+r.Strategy] = r
+	}
+	lossyHigh := byKey["lossy (episodes ≈4s)/fixed p=0.9"]
+	lossyLow := byKey["lossy (episodes ≈4s)/fixed p=0.1"]
+	lossyAdaptive := byKey["lossy (episodes ≈4s)/adaptive"]
+	quietLow := byKey["quiet (episodes ≈45s)/fixed p=0.1"]
+	quietAdaptive := byKey["quiet (episodes ≈45s)/adaptive"]
+
+	// The point of adaptivity: it converges wherever the well-chosen
+	// fixed rate would have, without knowing that rate in advance.
+	if lossyHigh.Converged && !lossyAdaptive.Converged {
+		t.Error("fixed-high converged on the lossy path but adaptive did not")
+	}
+	// And it beats a badly chosen fixed rate outright.
+	if lossyLow.Converged && !lossyAdaptive.Converged {
+		t.Error("even fixed-low converged but adaptive did not")
+	}
+	if lossyAdaptive.Converged && lossyHigh.Converged {
+		// Bounded escalation premium: within ~4x of the oracle choice.
+		if lossyAdaptive.Packets > 4*lossyHigh.Packets {
+			t.Errorf("adaptive cost %d > 4x fixed-high cost %d",
+				lossyAdaptive.Packets, lossyHigh.Packets)
+		}
+	}
+	// On the quiet path adaptive must have escalated toward PMax.
+	if quietAdaptive.FinalP <= quietLow.FinalP {
+		t.Errorf("adaptive final p %.2f did not escalate past %.2f on the quiet path",
+			quietAdaptive.FinalP, quietLow.FinalP)
+	}
+	// Estimates should track truth on the quiet path regardless of
+	// convergence.
+	if quietAdaptive.TrueF > 0 {
+		if ratio := quietAdaptive.EstF / quietAdaptive.TrueF; ratio < 0.25 || ratio > 4 {
+			t.Errorf("quiet adaptive estF/trueF = %.2f", ratio)
+		}
+	}
+	if !strings.Contains(res.String(), "Adaptive extension") {
+		t.Error("rendering lacks title")
+	}
+	for _, r := range res.Rows {
+		t.Logf("%-24s %-12s pkts=%7d converged=%v estF=%.4f trueF=%.4f",
+			r.Path, r.Strategy, r.Packets, r.Converged, r.EstF, r.TrueF)
+	}
+}

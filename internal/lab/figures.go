@@ -1,0 +1,350 @@
+package lab
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"badabing/internal/badabing"
+	"badabing/internal/capture"
+	"badabing/internal/probe"
+)
+
+// QueueSeries is a queue-length time series with the loss episodes that
+// occurred in the window (Figures 4, 5, 6).
+type QueueSeries struct {
+	Title    string
+	From, To time.Duration
+	Samples  []capture.QueueSample
+	Episodes []capture.Episode
+	QueueCap time.Duration
+}
+
+// String renders a sparkline of queue occupancy plus episode annotations.
+func (q QueueSeries) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%v..%v, queue capacity %v]\n", q.Title, q.From, q.To, q.QueueCap)
+	levels := []rune(" .:-=+*#%@")
+	const width = 100
+	if len(q.Samples) > 0 {
+		bins := make([]time.Duration, width)
+		span := q.To - q.From
+		for _, s := range q.Samples {
+			if s.T < q.From || s.T >= q.To {
+				continue
+			}
+			i := int(int64(s.T-q.From) * int64(width) / int64(span))
+			if s.Delay > bins[i] {
+				bins[i] = s.Delay
+			}
+		}
+		for _, d := range bins {
+			lv := int(int64(d) * int64(len(levels)-1) / int64(q.QueueCap))
+			if lv >= len(levels) {
+				lv = len(levels) - 1
+			}
+			b.WriteRune(levels[lv])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "loss episodes in window: %d\n", len(q.Episodes))
+	for _, e := range q.Episodes {
+		fmt.Fprintf(&b, "  [%8.3fs .. %8.3fs]  duration %6.1fms  drops %d\n",
+			e.Start.Seconds(), e.End.Seconds(), e.Duration().Seconds()*1000, e.Drops)
+	}
+	return b.String()
+}
+
+// queueFigure runs a scenario with queue sampling and extracts the
+// [from,to) window of the series.
+func queueFigure(title string, sc Scenario, cfg RunConfig, from, to time.Duration) QueueSeries {
+	cfg.applyDefaults()
+	if cfg.SampleHorizon == 0 {
+		cfg.SampleHorizon = to
+	}
+	if cfg.Horizon < to {
+		cfg.Horizon = to
+	}
+	p := NewPath(sc, cfg)
+	p.Run(cfg.Horizon)
+	out := QueueSeries{
+		Title:    title,
+		From:     from,
+		To:       to,
+		QueueCap: p.D.Bottleneck.Rate().TxTime(p.D.Bottleneck.QueueCap()),
+	}
+	for _, s := range p.Mon.Samples() {
+		if s.T >= from && s.T < to {
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	for _, e := range p.Mon.Episodes() {
+		if e.End >= from && e.Start < to {
+			out.Episodes = append(out.Episodes, e)
+		}
+	}
+	return out
+}
+
+// Figure4 reproduces Figure 4: queue-length time series for the infinite
+// TCP scenario (synchronized congestion-avoidance sawtooth).
+func Figure4(cfg RunConfig) QueueSeries {
+	return queueFigure("Figure 4: queue length, 40 infinite TCP sources",
+		InfiniteTCP, cfg, 10*time.Second, 20*time.Second)
+}
+
+// Figure5 reproduces Figure 5: queue-length series with randomly spaced,
+// constant-duration loss episodes.
+func Figure5(cfg RunConfig) QueueSeries {
+	return queueFigure("Figure 5: queue length, CBR with constant-duration episodes",
+		CBRUniform, cfg, 0, 40*time.Second)
+}
+
+// Figure6 reproduces Figure 6: queue-length series under Harpoon web-like
+// traffic, with loss episodes marked.
+func Figure6(cfg RunConfig) QueueSeries {
+	return queueFigure("Figure 6: queue length, Harpoon web-like traffic",
+		Web, cfg, 0, 60*time.Second)
+}
+
+// Fig7Point is one point of Figure 7.
+type Fig7Point struct {
+	Bunch  int     // packets per probe
+	PNoTCP float64 // P(no loss | probe during episode), infinite TCP
+	PNoCBR float64 // same, constant-bit-rate traffic
+}
+
+// Fig7Result renders like Figure 7.
+type Fig7Result struct {
+	Points []Fig7Point
+}
+
+func (f Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 7: P(probe of N packets sees no loss during a loss episode)")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "bunch length\tinfinite TCP\tCBR")
+	for _, pt := range f.Points {
+		fmt.Fprintf(w, "%d\t%.3f\t%.3f\n", pt.Bunch, pt.PNoTCP, pt.PNoCBR)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// probeMissRate runs a fixed-interval prober of the given bunch length on
+// sc and returns the fraction of probes sent during a true loss episode
+// that nevertheless lost no packets.
+func probeMissRate(sc Scenario, cfg RunConfig, bunch int) float64 {
+	path := NewPath(sc, cfg)
+	f := probe.StartFixed(path.Sim, path.D, probeFlowID, probe.FixedConfig{
+		Interval:        10 * time.Millisecond,
+		PacketsPerProbe: bunch,
+		Horizon:         cfg.Horizon,
+	})
+	path.Run(cfg.Horizon)
+	eps := path.Mon.Episodes()
+	inEpisode := func(t time.Duration) bool {
+		for _, e := range eps {
+			if t >= e.Start && t <= e.End {
+				return true
+			}
+		}
+		return false
+	}
+	total, clean := 0, 0
+	for _, o := range f.Results() {
+		if !inEpisode(o.T) {
+			continue
+		}
+		total++
+		if o.Lost == 0 {
+			clean++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(clean) / float64(total)
+}
+
+// Figure7 reproduces Figure 7 for bunch lengths 1..10 on the infinite TCP
+// and CBR scenarios.
+func Figure7(cfg RunConfig) Fig7Result {
+	cfg.applyDefaults()
+	var out Fig7Result
+	for bunch := 1; bunch <= 10; bunch++ {
+		out.Points = append(out.Points, Fig7Point{
+			Bunch:  bunch,
+			PNoTCP: probeMissRate(InfiniteTCP, cfg, bunch),
+			PNoCBR: probeMissRate(CBRUniform, cfg, bunch),
+		})
+	}
+	return out
+}
+
+// Fig8Series is the queue series around a loss episode for one probe size.
+type Fig8Series struct {
+	Bunch     int // 0 = no probe traffic
+	Series    QueueSeries
+	ProbePkts int
+	ProbeLost int
+}
+
+// Fig8Result renders like Figure 8: the impact of probe trains on queue
+// dynamics during a loss episode.
+type Fig8Result struct {
+	Variants []Fig8Series
+}
+
+func (f Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 8: queue behavior during a loss episode vs probe train length")
+	for _, v := range f.Variants {
+		label := "no probe traffic"
+		if v.Bunch > 0 {
+			label = fmt.Sprintf("probe train of %d packets (sent %d, lost %d)",
+				v.Bunch, v.ProbePkts, v.ProbeLost)
+		}
+		fmt.Fprintf(&b, "-- %s\n%s", label, v.Series.String())
+	}
+	return b.String()
+}
+
+// Figure8 reproduces Figure 8: infinite TCP traffic observed with no
+// probes, 3-packet probes, and 10-packet probes at 10 ms intervals.
+func Figure8(cfg RunConfig) Fig8Result {
+	cfg.applyDefaults()
+	var out Fig8Result
+	for _, bunch := range []int{0, 3, 10} {
+		runCfg := cfg
+		runCfg.SampleHorizon = cfg.Horizon
+		path := NewPath(InfiniteTCP, runCfg)
+		var fx *probe.Fixed
+		if bunch > 0 {
+			fx = probe.StartFixed(path.Sim, path.D, probeFlowID, probe.FixedConfig{
+				Interval:        10 * time.Millisecond,
+				PacketsPerProbe: bunch,
+				Horizon:         cfg.Horizon,
+			})
+		}
+		path.Run(cfg.Horizon)
+		eps := path.Mon.Episodes()
+		// Window: 200 ms around the first episode after warmup.
+		from, to := 10*time.Second, 11*time.Second
+		for _, e := range eps {
+			if e.Start > 10*time.Second {
+				from = e.Start - 50*time.Millisecond
+				to = e.End + 150*time.Millisecond
+				break
+			}
+		}
+		qs := QueueSeries{
+			Title:    fmt.Sprintf("queue around episode (bunch=%d)", bunch),
+			From:     from,
+			To:       to,
+			QueueCap: path.D.Bottleneck.Rate().TxTime(path.D.Bottleneck.QueueCap()),
+		}
+		for _, s := range path.Mon.Samples() {
+			if s.T >= from && s.T < to {
+				qs.Samples = append(qs.Samples, s)
+			}
+		}
+		for _, e := range eps {
+			if e.End >= from && e.Start < to {
+				qs.Episodes = append(qs.Episodes, e)
+			}
+		}
+		v := Fig8Series{Bunch: bunch, Series: qs}
+		if fx != nil {
+			for _, o := range fx.Results() {
+				v.ProbePkts += o.Sent
+				v.ProbeLost += o.Lost
+			}
+		}
+		out.Variants = append(out.Variants, v)
+	}
+	return out
+}
+
+// Fig9Row is one row of a Figure 9 sensitivity sweep: estimated loss
+// frequency for each parameter value at one probe rate.
+type Fig9Row struct {
+	P     float64
+	TrueF float64
+	EstF  []float64
+}
+
+// Fig9Result renders like Figure 9(a) or 9(b).
+type Fig9Result struct {
+	Title  string
+	Param  string
+	Values []string
+	Rows   []Fig9Row
+}
+
+func (f Fig9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, f.Title)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "p\ttrue freq")
+	for _, v := range f.Values {
+		fmt.Fprintf(w, "\t%s=%s", f.Param, v)
+	}
+	fmt.Fprintln(w)
+	for _, r := range f.Rows {
+		fmt.Fprintf(w, "%.1f\t%.4f", r.P, r.TrueF)
+		for _, e := range r.EstF {
+			fmt.Fprintf(w, "\t%.4f", e)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Figure9a reproduces Figure 9(a): estimated loss frequency over a range
+// of α with τ fixed at 80 ms, CBR traffic.
+func Figure9a(cfg RunConfig) Fig9Result {
+	cfg.applyDefaults()
+	alphas := []float64{0.05, 0.10, 0.20}
+	out := Fig9Result{
+		Title:  "Figure 9(a): frequency sensitivity to alpha (tau = 80ms)",
+		Param:  "alpha",
+		Values: []string{"0.05", "0.10", "0.20"},
+	}
+	for _, p := range DefaultPSweep {
+		row := Fig9Row{P: p}
+		for _, a := range alphas {
+			mk := badabing.MarkerConfig{Alpha: a, Tau: 80 * time.Millisecond}
+			r := badabingRun(CBRUniform, cfg, p, &mk, false)
+			row.TrueF = r.TrueF
+			row.EstF = append(row.EstF, r.EstF)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Figure9b reproduces Figure 9(b): estimated loss frequency over a range
+// of τ with α fixed at 0.1, CBR traffic.
+func Figure9b(cfg RunConfig) Fig9Result {
+	cfg.applyDefaults()
+	taus := []time.Duration{20 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond}
+	out := Fig9Result{
+		Title:  "Figure 9(b): frequency sensitivity to tau (alpha = 0.1)",
+		Param:  "tau",
+		Values: []string{"20ms", "40ms", "80ms"},
+	}
+	for _, p := range DefaultPSweep {
+		row := Fig9Row{P: p}
+		for _, tau := range taus {
+			mk := badabing.MarkerConfig{Alpha: 0.1, Tau: tau}
+			r := badabingRun(CBRUniform, cfg, p, &mk, false)
+			row.TrueF = r.TrueF
+			row.EstF = append(row.EstF, r.EstF)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Package lab reproduces the paper's evaluation: it wires the simulated
+// testbed (simnet dumbbell with the paper's parameters), a cross-traffic
+// scenario, ground-truth capture and a prober into one experiment per
+// table and figure of the paper. Each experiment function returns a result
+// value whose String method renders the corresponding table or series.
+package lab
+
+import (
+	"time"
+
+	"badabing/internal/capture"
+	"badabing/internal/simnet"
+	"badabing/internal/traffic"
+)
+
+// Scenario selects a cross-traffic workload from §4.
+type Scenario int
+
+// Scenarios.
+const (
+	// InfiniteTCP is 40 long-lived TCP sources (Figure 4, Tables 1, 8).
+	InfiniteTCP Scenario = iota
+	// CBRUniform is constant-bit-rate traffic with ≈68 ms loss episodes
+	// at exponential spacing, mean 10 s (Figure 5, Tables 2, 4, 7, 8).
+	CBRUniform
+	// CBRMixed draws episode durations from {50, 100, 150} ms (Table 5).
+	CBRMixed
+	// Web is the Harpoon-like web workload (Figure 6, Tables 3, 6, 8).
+	Web
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case InfiniteTCP:
+		return "infinite TCP"
+	case CBRUniform:
+		return "CBR (uniform 68ms episodes)"
+	case CBRMixed:
+		return "CBR (50/100/150ms episodes)"
+	case Web:
+		return "Harpoon web-like"
+	default:
+		return "unknown"
+	}
+}
+
+// RunConfig holds experiment-wide knobs.
+type RunConfig struct {
+	// Horizon is the measurement duration. The paper's runs are 900 s
+	// (15 minutes); the benchmark harness uses shorter horizons to
+	// keep `go test -bench` tractable. Default 900 s.
+	Horizon time.Duration
+	// Seed for all randomness in the run.
+	Seed int64
+	// QueueSampling turns on queue-length time-series capture up to
+	// SampleHorizon (used by the figure experiments).
+	SampleHorizon time.Duration
+}
+
+func (c *RunConfig) applyDefaults() {
+	if c.Horizon == 0 {
+		c.Horizon = 900 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Path is an instantiated testbed: simulator, dumbbell, ground-truth
+// monitor and a running cross-traffic scenario.
+type Path struct {
+	Sim *simnet.Sim
+	D   *simnet.Dumbbell
+	Mon *capture.Monitor
+	IDs *traffic.IDSpace
+}
+
+// probeFlowID is reserved for measurement traffic; cross-traffic flow ids
+// are allocated above it.
+const probeFlowID = 7
+
+// NewPath builds the testbed, attaches the monitor and starts the
+// scenario's cross traffic.
+func NewPath(sc Scenario, cfg RunConfig) *Path {
+	cfg.applyDefaults()
+	s := simnet.New()
+	d := simnet.NewDumbbell(s, simnet.DumbbellConfig{})
+	mon := capture.Attach(s, d.Bottleneck, capture.Config{Horizon: cfg.SampleHorizon})
+	ids := traffic.NewIDSpace(1000)
+	p := &Path{Sim: s, D: d, Mon: mon, IDs: ids}
+	switch sc {
+	case InfiniteTCP:
+		traffic.NewInfiniteTCP(s, d, ids, 40)
+	case CBRUniform:
+		traffic.NewEpisodeInjector(s, d, ids, traffic.EpisodeInjectorConfig{
+			Durations:       []time.Duration{68 * time.Millisecond},
+			MeanSpacing:     10 * time.Second,
+			Overload:        4,
+			BaseUtilization: 0.25,
+			Seed:            cfg.Seed,
+		})
+	case CBRMixed:
+		traffic.NewEpisodeInjector(s, d, ids, traffic.EpisodeInjectorConfig{
+			Durations: []time.Duration{
+				50 * time.Millisecond, 100 * time.Millisecond, 150 * time.Millisecond,
+			},
+			MeanSpacing:     10 * time.Second,
+			Overload:        4,
+			BaseUtilization: 0.25,
+			Seed:            cfg.Seed,
+		})
+	case Web:
+		traffic.NewWeb(s, d, ids, traffic.WebConfig{Seed: cfg.Seed})
+	}
+	return p
+}
+
+// Run advances the simulation to the horizon plus drain time, so that all
+// in-flight packets settle before results are read.
+func (p *Path) Run(horizon time.Duration) {
+	p.Sim.Run(horizon + time.Second)
+}

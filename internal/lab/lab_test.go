@@ -1,0 +1,260 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Short horizons keep the suite fast; the paper-scale runs are exercised
+// via cmd/labsim and the benchmark harness.
+var short = RunConfig{Horizon: 120 * time.Second, Seed: 1}
+
+func TestTable1ZingUnderestimatesTCPLoss(t *testing.T) {
+	res := Table1(RunConfig{Horizon: 150 * time.Second, Seed: 1})
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	truth := res.Rows[0]
+	if truth.Frequency <= 0 || truth.DurMean <= 0 {
+		t.Fatalf("no true loss in TCP scenario: %+v", truth)
+	}
+	for _, r := range res.Rows[1:] {
+		// The paper's headline: ZING reports a tiny fraction of the
+		// true frequency (0.0005 vs 0.0265) and near-zero durations.
+		if r.Frequency > truth.Frequency/2 {
+			t.Errorf("%s frequency %.4f not ≪ true %.4f", r.Name, r.Frequency, truth.Frequency)
+		}
+		if r.DurMean > truth.DurMean/2 {
+			t.Errorf("%s duration %.3f not ≪ true %.3f", r.Name, r.DurMean, truth.DurMean)
+		}
+	}
+	if !strings.Contains(res.String(), "Table 1") {
+		t.Error("rendering lacks title")
+	}
+}
+
+func TestTable2ZingCloserOnCBR(t *testing.T) {
+	res := Table2(RunConfig{Horizon: 200 * time.Second, Seed: 2})
+	truth := res.Rows[0]
+	if truth.Frequency <= 0 {
+		t.Fatal("no true loss in CBR scenario")
+	}
+	for _, r := range res.Rows[1:] {
+		// Paper Table 2: ZING gets within about a factor of two on
+		// frequency for the CBR scenario (0.0031–0.0036 vs 0.0069).
+		if r.Frequency <= 0 {
+			t.Errorf("%s measured zero frequency", r.Name)
+		}
+		if r.Frequency > truth.Frequency*1.5 {
+			t.Errorf("%s frequency %.4f overshoots true %.4f", r.Name, r.Frequency, truth.Frequency)
+		}
+	}
+}
+
+func TestTable3ZingPoorOnWebTraffic(t *testing.T) {
+	res := Table3(RunConfig{Horizon: 150 * time.Second, Seed: 3})
+	truth := res.Rows[0]
+	if truth.Frequency <= 0 {
+		t.Fatal("no true loss in web scenario")
+	}
+	for _, r := range res.Rows[1:] {
+		if r.Frequency > truth.Frequency {
+			t.Errorf("%s frequency %.4f exceeds true %.4f (expected underestimate)",
+				r.Name, r.Frequency, truth.Frequency)
+		}
+	}
+}
+
+func TestTable4BadabingTracksTruth(t *testing.T) {
+	res := Table4(RunConfig{Horizon: 300 * time.Second, Seed: 4})
+	if len(res.Rows) != len(DefaultPSweep) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(DefaultPSweep))
+	}
+	for _, r := range res.Rows {
+		if r.P < 0.5 {
+			// The paper, too, reports poor estimates at p=0.1, and
+			// at p=0.3 the boundary sample S is still small at this
+			// shortened horizon.
+			continue
+		}
+		if r.TrueD <= 0 {
+			t.Fatalf("p=%.1f: no true episodes", r.P)
+		}
+		if rel := abs(r.EstD-r.TrueD) / r.TrueD; rel > 0.6 {
+			t.Errorf("p=%.1f: duration estimate %.3f vs true %.3f (%.0f%% off)",
+				r.P, r.EstD, r.TrueD, rel*100)
+		}
+		if ratio := r.EstF / r.TrueF; ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("p=%.1f: freq estimate %.4f vs true %.4f", r.P, r.EstF, r.TrueF)
+		}
+	}
+}
+
+func TestTable7LowPBehaviour(t *testing.T) {
+	res := Table7(RunConfig{Horizon: 120 * time.Second, Seed: 5})
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// At p=0.1 estimates are rough in both the paper and this
+		// reproduction (here the bias has the opposite sign — see
+		// EXPERIMENTS.md); assert they stay within a factor of 3.
+		if r.EstF <= 0 || r.EstD <= 0 {
+			t.Fatalf("N=%d tau=%v: missing estimates", r.N, r.Tau)
+		}
+		if ratio := r.EstF / r.TrueF; ratio < 1/3.0 || ratio > 3 {
+			t.Errorf("N=%d tau=%v: freq %.4f vs true %.4f beyond 3x",
+				r.N, r.Tau, r.EstF, r.TrueF)
+		}
+		if ratio := r.EstD / r.TrueD; ratio < 1/3.5 || ratio > 3.5 {
+			t.Errorf("N=%d tau=%v: dur %.3f vs true %.3f beyond 3.5x",
+				r.N, r.Tau, r.EstD, r.TrueD)
+		}
+	}
+	if res.Rows[2].N != 4*res.Rows[0].N {
+		t.Errorf("long rows should have 4x the slots: %d vs %d", res.Rows[2].N, res.Rows[0].N)
+	}
+}
+
+func TestTable8BadabingBeatsZing(t *testing.T) {
+	res := Table8(RunConfig{Horizon: 200 * time.Second, Seed: 6})
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	// Compare duration error for the CBR pair (rows 0 and 1).
+	bb, zing := res.Rows[0], res.Rows[1]
+	if bb.Tool != "BADABING" || zing.Tool != "ZING" {
+		t.Fatalf("unexpected row order: %+v", res.Rows)
+	}
+	bbErr := abs(bb.EstD - bb.TrueD)
+	zingErr := abs(zing.EstD - zing.TrueD)
+	if bbErr >= zingErr {
+		t.Errorf("CBR: BADABING duration error %.3f not better than ZING %.3f", bbErr, zingErr)
+	}
+}
+
+func TestFigure4ShowsSawtooth(t *testing.T) {
+	res := Figure4(RunConfig{Horizon: 20 * time.Second, Seed: 7})
+	if len(res.Samples) == 0 {
+		t.Fatal("no queue samples")
+	}
+	// The TCP sawtooth must repeatedly approach the full buffer and
+	// fall back: range should span most of the buffer.
+	var min, max time.Duration = time.Hour, 0
+	for _, s := range res.Samples {
+		if s.Delay < min {
+			min = s.Delay
+		}
+		if s.Delay > max {
+			max = s.Delay
+		}
+	}
+	if max < res.QueueCap*8/10 {
+		t.Errorf("queue never approaches capacity: max %v of %v", max, res.QueueCap)
+	}
+	if min > res.QueueCap/2 {
+		t.Errorf("queue never drains below half: min %v", min)
+	}
+}
+
+func TestFigure5ShowsIsolatedEpisodes(t *testing.T) {
+	res := Figure5(RunConfig{Horizon: 40 * time.Second, Seed: 8})
+	if len(res.Episodes) == 0 {
+		t.Fatal("no episodes in window")
+	}
+	for _, e := range res.Episodes {
+		d := e.Duration()
+		if d < 30*time.Millisecond || d > 120*time.Millisecond {
+			t.Errorf("episode duration %v, want ≈68ms", d)
+		}
+	}
+}
+
+func TestFigure6WebEpisodes(t *testing.T) {
+	res := Figure6(RunConfig{Horizon: 60 * time.Second, Seed: 9})
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	if !strings.Contains(res.String(), "Figure 6") {
+		t.Error("rendering lacks title")
+	}
+}
+
+func TestFigure7LongerProbesDetectBetter(t *testing.T) {
+	res := Figure7(RunConfig{Horizon: 60 * time.Second, Seed: 10})
+	if len(res.Points) != 10 {
+		t.Fatalf("got %d points, want 10", len(res.Points))
+	}
+	first, last := res.Points[0], res.Points[9]
+	// Paper Figure 7: for CBR, single-packet probes miss ≈half of
+	// episodes while 10-packet probes miss almost none.
+	if first.PNoCBR < 0.15 {
+		t.Errorf("1-packet CBR miss rate %.3f, expected substantial (≈0.5)", first.PNoCBR)
+	}
+	if last.PNoCBR >= first.PNoCBR {
+		t.Errorf("10-packet CBR miss rate %.3f not below 1-packet %.3f",
+			last.PNoCBR, first.PNoCBR)
+	}
+	// For TCP the improvement is mild; mainly assert monotone direction.
+	if last.PNoTCP > first.PNoTCP+0.1 {
+		t.Errorf("TCP miss rate grew with bunch length: %.3f → %.3f",
+			first.PNoTCP, last.PNoTCP)
+	}
+}
+
+func TestFigure8ProbesPerturbQueue(t *testing.T) {
+	res := Figure8(RunConfig{Horizon: 15 * time.Second, Seed: 11})
+	if len(res.Variants) != 3 {
+		t.Fatalf("got %d variants, want 3", len(res.Variants))
+	}
+	if res.Variants[0].Bunch != 0 || res.Variants[2].Bunch != 10 {
+		t.Fatalf("unexpected variant order")
+	}
+	if res.Variants[2].ProbePkts == 0 {
+		t.Fatal("10-packet variant sent no probes")
+	}
+	// 10-packet trains at 10 ms are ~4.8 Mb/s of probe traffic; during
+	// episodes they must lose packets (Figure 8 bottom panel).
+	if res.Variants[2].ProbeLost == 0 {
+		t.Error("10-packet probe trains never lost a packet during episodes")
+	}
+}
+
+func TestFigure9aFrequencyIncreasesWithAlpha(t *testing.T) {
+	res := Figure9a(RunConfig{Horizon: 150 * time.Second, Seed: 12})
+	if len(res.Rows) != len(DefaultPSweep) {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	// Aggregate across p: larger alpha should not decrease the mean
+	// estimated frequency (Figure 9a trend).
+	sums := make([]float64, 3)
+	for _, r := range res.Rows {
+		for i, e := range r.EstF {
+			sums[i] += e
+		}
+	}
+	if !(sums[2] >= sums[0]) {
+		t.Errorf("frequency not increasing with alpha: sums %v", sums)
+	}
+}
+
+func TestFigure9bFrequencyIncreasesWithTau(t *testing.T) {
+	res := Figure9b(RunConfig{Horizon: 150 * time.Second, Seed: 13})
+	sums := make([]float64, 3)
+	for _, r := range res.Rows {
+		for i, e := range r.EstF {
+			sums[i] += e
+		}
+	}
+	if !(sums[2] >= sums[0]) {
+		t.Errorf("frequency not increasing with tau: sums %v", sums)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,50 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMultiHopUnionTruth(t *testing.T) {
+	res := MultiHop(3, RunConfig{Horizon: 200 * time.Second, Seed: 31})
+	if len(res.PerHopF) != 3 {
+		t.Fatalf("per-hop truths: %d", len(res.PerHopF))
+	}
+	var sum, max float64
+	for i, f := range res.PerHopF {
+		if f <= 0 {
+			t.Fatalf("hop %d saw no congestion", i)
+		}
+		sum += f
+		if f > max {
+			max = f
+		}
+	}
+	// Union frequency lies between the max hop and the sum of hops.
+	if res.TrueF < max-1e-9 || res.TrueF > sum+1e-9 {
+		t.Errorf("union F %.4f outside [max %.4f, sum %.4f]", res.TrueF, max, sum)
+	}
+	if res.TrueD <= 0 {
+		t.Fatal("no union episodes")
+	}
+}
+
+func TestMultiHopEndToEndEstimate(t *testing.T) {
+	res := MultiHop(2, RunConfig{Horizon: 300 * time.Second, Seed: 32})
+	if res.EstF <= 0 {
+		t.Fatal("no end-to-end frequency estimate")
+	}
+	// The probe sees the union of the hops; the estimate should track
+	// the union truth, not a single hop's.
+	if ratio := res.EstF / res.TrueF; ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("end-to-end F̂/F = %.2f (est %.4f, union true %.4f)",
+			ratio, res.EstF, res.TrueF)
+	}
+	if res.EstD <= 0 {
+		t.Fatal("no duration estimate")
+	}
+	if !strings.Contains(res.String(), "Multi-hop") {
+		t.Error("rendering lacks title")
+	}
+}

@@ -1,0 +1,36 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestREDStudyContrast(t *testing.T) {
+	res := RED(RunConfig{Horizon: 150 * time.Second, Seed: 41})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	dt, red := res.Rows[0], res.Rows[1]
+	if dt.Queue != "drop-tail" || red.Queue != "RED" {
+		t.Fatalf("row order: %+v", res.Rows)
+	}
+	if dt.LossRate <= 0 || red.LossRate <= 0 {
+		t.Fatal("a scenario produced no loss")
+	}
+	// RED keeps the queue off the hard limit: its average queueing
+	// delay and episode structure differ from drop-tail's crisp
+	// full-buffer episodes. At minimum the workloads must both be
+	// measurable and the comparison table renderable.
+	if dt.EstF <= 0 {
+		t.Error("drop-tail estimate missing")
+	}
+	if red.TrueF <= 0 {
+		t.Error("no RED congestion measured")
+	}
+	if !strings.Contains(res.String(), "RED extension") {
+		t.Error("rendering lacks title")
+	}
+	t.Logf("drop-tail: %+v", dt)
+	t.Logf("RED:       %+v", red)
+}

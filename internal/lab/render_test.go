@@ -1,0 +1,159 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"badabing/internal/capture"
+)
+
+func TestLossTableRendering(t *testing.T) {
+	tbl := LossTable{
+		Title: "Table X",
+		Rows: []LossRow{
+			{Name: "true values", Frequency: 0.0265, DurMean: 0.136, DurSD: 0.009},
+			{Name: "ZING (10Hz)", Frequency: 0.0005, DurMean: 0, DurSD: 0},
+		},
+	}
+	out := tbl.String()
+	for _, want := range []string{"Table X", "true values", "ZING (10Hz)", "0.0265", "0.136 (0.009)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepTableRendering(t *testing.T) {
+	tbl := SweepTable{
+		Title: "Table Y",
+		Rows:  []SweepRow{{P: 0.3, TrueF: 0.0069, EstF: 0.0065, TrueD: 0.068, EstD: 0.073}},
+	}
+	out := tbl.String()
+	for _, want := range []string{"Table Y", "0.3", "0.0069", "0.0065", "0.068", "0.073"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable7Rendering(t *testing.T) {
+	res := Table7Result{Rows: []Table7Row{
+		{N: 180000, Tau: 40 * time.Millisecond, TrueF: 0.0059, EstF: 0.0006, TrueD: 0.068, EstD: 0.021},
+	}}
+	out := res.String()
+	for _, want := range []string{"180000", "40", "0.0059"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable8Rendering(t *testing.T) {
+	res := Table8Result{Rows: []Table8Row{
+		{Scenario: "CBR", Tool: "BADABING", TrueF: 0.0069, EstF: 0.0065, TrueD: 0.068, EstD: 0.073},
+		{Scenario: "CBR", Tool: "ZING", TrueF: 0.0069, EstF: 0.0041, TrueD: 0.068, EstD: 0.010},
+	}}
+	out := res.String()
+	if !strings.Contains(out, "BADABING") || !strings.Contains(out, "ZING") {
+		t.Errorf("rendering missing tool names:\n%s", out)
+	}
+}
+
+func TestQueueSeriesRendering(t *testing.T) {
+	qs := QueueSeries{
+		Title:    "Figure Z",
+		From:     10 * time.Second,
+		To:       20 * time.Second,
+		QueueCap: 100 * time.Millisecond,
+		Samples: []capture.QueueSample{
+			{T: 11 * time.Second, Delay: 10 * time.Millisecond},
+			{T: 15 * time.Second, Delay: 100 * time.Millisecond},
+		},
+		Episodes: []capture.Episode{
+			{Start: 15 * time.Second, End: 15*time.Second + 70*time.Millisecond, Drops: 12},
+		},
+	}
+	out := qs.String()
+	if !strings.Contains(out, "Figure Z") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "loss episodes in window: 1") {
+		t.Errorf("missing episode count:\n%s", out)
+	}
+	if !strings.Contains(out, "drops 12") {
+		t.Errorf("missing drop count:\n%s", out)
+	}
+	// The sparkline should contain both a near-empty and a full level.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 2 {
+		t.Fatal("no sparkline line")
+	}
+	spark := lines[1]
+	if !strings.Contains(spark, "@") {
+		t.Errorf("full-queue sample not rendered at top level: %q", spark)
+	}
+}
+
+func TestFig7Rendering(t *testing.T) {
+	res := Fig7Result{Points: []Fig7Point{{Bunch: 1, PNoTCP: 0.75, PNoCBR: 0.5}}}
+	out := res.String()
+	if !strings.Contains(out, "0.750") || !strings.Contains(out, "0.500") {
+		t.Errorf("points not rendered:\n%s", out)
+	}
+}
+
+func TestFig9Rendering(t *testing.T) {
+	res := Fig9Result{
+		Title:  "Figure 9(x)",
+		Param:  "alpha",
+		Values: []string{"0.05", "0.10"},
+		Rows:   []Fig9Row{{P: 0.3, TrueF: 0.0069, EstF: []float64{0.004, 0.006}}},
+	}
+	out := res.String()
+	for _, want := range []string{"alpha=0.05", "alpha=0.10", "0.0069", "0.0040"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationRendering(t *testing.T) {
+	res := AblationResult{
+		Title: "Ablation: thing",
+		Rows:  []AblationRow{{Variant: "v1", TrueF: 0.01, EstF: 0.011, TrueD: 0.07, EstD: 0.08}},
+	}
+	out := res.String()
+	if !strings.Contains(out, "v1") || !strings.Contains(out, "0.0110") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	cases := map[Scenario]string{
+		InfiniteTCP: "infinite TCP",
+		CBRUniform:  "CBR (uniform 68ms episodes)",
+		CBRMixed:    "CBR (50/100/150ms episodes)",
+		Web:         "Harpoon web-like",
+		Scenario(9): "unknown",
+	}
+	for sc, want := range cases {
+		if got := sc.String(); got != want {
+			t.Errorf("Scenario(%d).String() = %q, want %q", sc, got, want)
+		}
+	}
+}
+
+func TestFig8Rendering(t *testing.T) {
+	res := Fig8Result{Variants: []Fig8Series{
+		{Bunch: 0, Series: QueueSeries{Title: "q0", QueueCap: time.Second}},
+		{Bunch: 10, ProbePkts: 100, ProbeLost: 5, Series: QueueSeries{Title: "q10", QueueCap: time.Second}},
+	}}
+	out := res.String()
+	if !strings.Contains(out, "no probe traffic") {
+		t.Error("missing no-probe label")
+	}
+	if !strings.Contains(out, "probe train of 10 packets (sent 100, lost 5)") {
+		t.Errorf("missing probe label:\n%s", out)
+	}
+}

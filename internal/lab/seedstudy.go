@@ -1,0 +1,68 @@
+package lab
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"badabing/internal/stats"
+)
+
+// SeedStudy quantifies run-to-run variability: the same measurement
+// repeated over several workload seeds, reporting the spread of both the
+// true characteristics and the estimates. The paper reports single runs
+// per cell; this study (an extension) shows how much of the
+// estimate-vs-truth gap is sampling noise rather than bias.
+type SeedStudyResult struct {
+	Scenario Scenario
+	P        float64
+	Seeds    []int64
+	TrueF    stats.Summary
+	EstF     stats.Summary
+	TrueD    stats.Summary // seconds
+	EstD     stats.Summary // seconds
+	// RelFreqErr and RelDurErr summarize per-seed relative errors.
+	RelFreqErr stats.Summary
+	RelDurErr  stats.Summary
+}
+
+func (r SeedStudyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Seed study: %s, p=%.1f, %d seeds\n", r.Scenario, r.P, len(r.Seeds))
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "quantity\tmean\tσ\tmin\tmax")
+	row := func(name string, s stats.Summary) {
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.4f\t%.4f\n", name, s.Mean(), s.StdDev(), s.Min(), s.Max())
+	}
+	row("true frequency", r.TrueF)
+	row("est frequency", r.EstF)
+	row("true duration (s)", r.TrueD)
+	row("est duration (s)", r.EstD)
+	row("rel freq error", r.RelFreqErr)
+	row("rel dur error", r.RelDurErr)
+	w.Flush()
+	return b.String()
+}
+
+// SeedStudy runs the BADABING measurement on sc at probability p once per
+// seed.
+func SeedStudy(sc Scenario, p float64, seeds []int64, cfg RunConfig) SeedStudyResult {
+	cfg.applyDefaults()
+	res := SeedStudyResult{Scenario: sc, P: p, Seeds: seeds}
+	for _, seed := range seeds {
+		runCfg := cfg
+		runCfg.Seed = seed
+		row := badabingRun(sc, runCfg, p, nil, false)
+		res.TrueF.Add(row.TrueF)
+		res.EstF.Add(row.EstF)
+		res.TrueD.Add(row.TrueD)
+		res.EstD.Add(row.EstD)
+		if row.TrueF > 0 {
+			res.RelFreqErr.Add(absf(row.EstF-row.TrueF) / row.TrueF)
+		}
+		if row.TrueD > 0 {
+			res.RelDurErr.Add(absf(row.EstD-row.TrueD) / row.TrueD)
+		}
+	}
+	return res
+}

@@ -1,0 +1,31 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeedStudySpread(t *testing.T) {
+	res := SeedStudy(CBRUniform, 0.5, []int64{1, 2, 3}, RunConfig{Horizon: 150 * time.Second})
+	if res.TrueF.N() != 3 || res.EstF.N() != 3 {
+		t.Fatalf("runs recorded: true %d, est %d", res.TrueF.N(), res.EstF.N())
+	}
+	if res.TrueD.Mean() < 0.05 || res.TrueD.Mean() > 0.09 {
+		t.Errorf("mean true duration %.3f, want ≈0.068", res.TrueD.Mean())
+	}
+	if res.RelDurErr.N() == 0 {
+		t.Fatal("no duration errors recorded")
+	}
+	// The engineered workload is highly reproducible: frequency spread
+	// across seeds should be small relative to its mean.
+	if cv := res.TrueF.StdDev() / res.TrueF.Mean(); cv > 0.5 {
+		t.Errorf("true frequency CV %.2f across seeds, want < 0.5", cv)
+	}
+	out := res.String()
+	for _, want := range []string{"Seed study", "true frequency", "rel dur error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+}

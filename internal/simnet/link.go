@@ -1,0 +1,150 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Rate is a link bandwidth in bits per second.
+type Rate int64
+
+// Common link rates from the paper's testbed.
+const (
+	OC3  Rate = 155_520_000 // bottleneck link in the testbed
+	OC12 Rate = 622_080_000
+	GigE Rate = 1_000_000_000
+)
+
+// TxTime returns how long size bytes take to serialize at rate r.
+func (r Rate) TxTime(size int) time.Duration {
+	return time.Duration(int64(size) * 8 * int64(time.Second) / int64(r))
+}
+
+// Bytes returns how many bytes r carries in d.
+func (r Rate) Bytes(d time.Duration) int {
+	return int(int64(r) * int64(d) / (8 * int64(time.Second)))
+}
+
+// Link models a store-and-forward output link: a drop-tail FIFO of QueueCap
+// bytes feeding a transmitter of the given Rate, followed by a fixed
+// propagation Delay. This is the paper's Figure 1 system: loss episodes are
+// created exclusively by this queue overflowing.
+//
+// Occupancy accounting includes the packet currently being transmitted,
+// matching how router buffer occupancy is reported.
+type Link struct {
+	sim      *Sim
+	rate     Rate
+	delay    time.Duration
+	queueCap int // bytes
+	dst      Receiver
+
+	busy   bool
+	qbytes int // queued bytes, including packet in service
+	q      []*Packet
+	head   int
+
+	taps []Tap
+	aqm  AQM
+
+	// Counters.
+	arrived   uint64
+	dropped   uint64
+	delivered uint64
+}
+
+// NewLink creates a link feeding dst. queueCap is the buffer size in bytes;
+// the paper's bottleneck held approximately 100 ms of packets, i.e.
+// queueCap = rate.Bytes(100*time.Millisecond).
+func NewLink(sim *Sim, rate Rate, delay time.Duration, queueCap int, dst Receiver) *Link {
+	if rate <= 0 {
+		panic(fmt.Sprintf("simnet: invalid rate %d", rate))
+	}
+	if queueCap <= 0 {
+		panic(fmt.Sprintf("simnet: invalid queue capacity %d", queueCap))
+	}
+	return &Link{sim: sim, rate: rate, delay: delay, queueCap: queueCap, dst: dst}
+}
+
+// AddTap registers t to observe this link's packet events.
+func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+// Rate returns the link bandwidth.
+func (l *Link) Rate() Rate { return l.rate }
+
+// Delay returns the propagation delay.
+func (l *Link) Delay() time.Duration { return l.delay }
+
+// QueueCap returns the buffer capacity in bytes.
+func (l *Link) QueueCap() int { return l.queueCap }
+
+// QueueBytes returns the current buffer occupancy in bytes, including the
+// packet in service.
+func (l *Link) QueueBytes() int { return l.qbytes }
+
+// QueueDelay returns the current buffer occupancy expressed as time to
+// drain at the link rate — the quantity plotted on the y axis of the
+// paper's queue-length figures.
+func (l *Link) QueueDelay() time.Duration { return l.rate.TxTime(l.qbytes) }
+
+// Stats returns cumulative arrival, drop and delivery counts.
+func (l *Link) Stats() (arrived, dropped, delivered uint64) {
+	return l.arrived, l.dropped, l.delivered
+}
+
+// Send places p on the link. If the buffer cannot hold it, p is dropped.
+func (l *Link) Send(p *Packet) {
+	now := l.sim.Now()
+	l.arrived++
+	for _, t := range l.taps {
+		t.Arrive(now, p, l.qbytes)
+	}
+	if (l.busy && l.qbytes+p.Size > l.queueCap) || !l.redAdmit(p) {
+		l.dropped++
+		for _, t := range l.taps {
+			t.Dropped(now, p, DropQueueFull)
+		}
+		return
+	}
+	l.qbytes += p.Size
+	l.push(p)
+	if !l.busy {
+		l.busy = true
+		l.transmit(l.pop())
+	}
+}
+
+func (l *Link) push(p *Packet) {
+	l.q = append(l.q, p)
+}
+
+func (l *Link) pop() *Packet {
+	p := l.q[l.head]
+	l.q[l.head] = nil
+	l.head++
+	if l.head > 1024 && l.head*2 >= len(l.q) {
+		n := copy(l.q, l.q[l.head:])
+		l.q = l.q[:n]
+		l.head = 0
+	}
+	return p
+}
+
+func (l *Link) empty() bool { return l.head == len(l.q) }
+
+func (l *Link) transmit(p *Packet) {
+	l.sim.Schedule(l.rate.TxTime(p.Size), func() {
+		l.qbytes -= p.Size
+		l.delivered++
+		now := l.sim.Now()
+		for _, t := range l.taps {
+			t.Depart(now, p, l.qbytes)
+		}
+		l.sim.Schedule(l.delay, func() { l.dst.Deliver(p) })
+		if !l.empty() {
+			l.transmit(l.pop())
+		} else {
+			l.busy = false
+		}
+	})
+}

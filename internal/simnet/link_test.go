@@ -1,0 +1,250 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// collect is a Receiver that records deliveries with timestamps.
+type collect struct {
+	sim  *Sim
+	pkts []*Packet
+	at   []time.Duration
+}
+
+func (c *collect) Deliver(p *Packet) {
+	c.pkts = append(c.pkts, p)
+	c.at = append(c.at, c.sim.Now())
+}
+
+// tapRec records tap callbacks.
+type tapRec struct {
+	arrivals, drops, departs int
+	dropIDs                  []uint64
+}
+
+func (t *tapRec) Arrive(_ time.Duration, _ *Packet, _ int) { t.arrivals++ }
+func (t *tapRec) Dropped(_ time.Duration, p *Packet, _ Drop) {
+	t.drops++
+	t.dropIDs = append(t.dropIDs, p.ID)
+}
+func (t *tapRec) Depart(_ time.Duration, _ *Packet, _ int) { t.departs++ }
+
+func mkpkt(s *Sim, size int) *Packet {
+	return &Packet{ID: s.NextPacketID(), Size: size, Sent: s.Now()}
+}
+
+func TestLinkDeliveryTiming(t *testing.T) {
+	s := New()
+	dst := &collect{sim: s}
+	// 8 Mb/s: a 1000-byte packet serializes in exactly 1 ms.
+	l := NewLink(s, Rate(8_000_000), 10*time.Millisecond, 100_000, dst)
+	s.Schedule(0, func() { l.Send(mkpkt(s, 1000)) })
+	s.Run(time.Second)
+	if len(dst.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(dst.pkts))
+	}
+	if want := 11 * time.Millisecond; dst.at[0] != want {
+		t.Fatalf("delivered at %v, want %v (tx 1ms + prop 10ms)", dst.at[0], want)
+	}
+}
+
+func TestLinkFIFOOrderAndSerialization(t *testing.T) {
+	s := New()
+	dst := &collect{sim: s}
+	l := NewLink(s, Rate(8_000_000), 0, 1_000_000, dst)
+	s.Schedule(0, func() {
+		for i := 0; i < 5; i++ {
+			p := mkpkt(s, 1000)
+			p.Seq = int64(i)
+			l.Send(p)
+		}
+	})
+	s.Run(time.Second)
+	if len(dst.pkts) != 5 {
+		t.Fatalf("delivered %d, want 5", len(dst.pkts))
+	}
+	for i, p := range dst.pkts {
+		if p.Seq != int64(i) {
+			t.Errorf("delivery %d has seq %d, want %d (FIFO violated)", i, p.Seq, i)
+		}
+		if want := time.Duration(i+1) * time.Millisecond; dst.at[i] != want {
+			t.Errorf("delivery %d at %v, want %v (back-to-back serialization)", i, dst.at[i], want)
+		}
+	}
+}
+
+func TestLinkDropTail(t *testing.T) {
+	s := New()
+	dst := &collect{sim: s}
+	// Queue capacity of exactly 3 × 1000 B. Sending 6 back-to-back: the
+	// first starts transmitting (in-service byte accounting), so the
+	// buffer holds it plus two more; the rest drop.
+	l := NewLink(s, Rate(8_000_000), 0, 3000, dst)
+	tap := &tapRec{}
+	l.AddTap(tap)
+	s.Schedule(0, func() {
+		for i := 0; i < 6; i++ {
+			l.Send(mkpkt(s, 1000))
+		}
+	})
+	s.Run(time.Second)
+	if got := len(dst.pkts); got != 3 {
+		t.Fatalf("delivered %d, want 3", got)
+	}
+	if tap.drops != 3 {
+		t.Fatalf("dropped %d, want 3", tap.drops)
+	}
+	arrived, dropped, delivered := l.Stats()
+	if arrived != 6 || dropped != 3 || delivered != 3 {
+		t.Fatalf("stats = (%d,%d,%d), want (6,3,3)", arrived, dropped, delivered)
+	}
+}
+
+func TestLinkQueueDrainsAndAcceptsAgain(t *testing.T) {
+	s := New()
+	dst := &collect{sim: s}
+	l := NewLink(s, Rate(8_000_000), 0, 2000, dst)
+	send := func(n int) func() {
+		return func() {
+			for i := 0; i < n; i++ {
+				l.Send(mkpkt(s, 1000))
+			}
+		}
+	}
+	s.Schedule(0, send(4))                   // 2 accepted, 2 dropped
+	s.Schedule(10*time.Millisecond, send(2)) // queue empty again: both accepted
+	s.Run(time.Second)
+	if got := len(dst.pkts); got != 4 {
+		t.Fatalf("delivered %d, want 4", got)
+	}
+}
+
+func TestLinkQueueDelayReflectsOccupancy(t *testing.T) {
+	s := New()
+	dst := &collect{sim: s}
+	l := NewLink(s, Rate(8_000_000), 0, 100_000, dst)
+	s.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			l.Send(mkpkt(s, 1000))
+		}
+		// 10 packets × 1 ms serialization each queued right now.
+		if got, want := l.QueueDelay(), 10*time.Millisecond; got != want {
+			t.Errorf("QueueDelay = %v, want %v", got, want)
+		}
+	})
+	s.Run(time.Second)
+	if l.QueueBytes() != 0 {
+		t.Fatalf("queue not drained: %d bytes", l.QueueBytes())
+	}
+}
+
+func TestLinkTapSequence(t *testing.T) {
+	s := New()
+	dst := &collect{sim: s}
+	l := NewLink(s, Rate(8_000_000), time.Millisecond, 10_000, dst)
+	tap := &tapRec{}
+	l.AddTap(tap)
+	s.Schedule(0, func() {
+		for i := 0; i < 4; i++ {
+			l.Send(mkpkt(s, 500))
+		}
+	})
+	s.Run(time.Second)
+	if tap.arrivals != 4 || tap.departs != 4 || tap.drops != 0 {
+		t.Fatalf("tap saw (%d arrive, %d depart, %d drop), want (4,4,0)",
+			tap.arrivals, tap.departs, tap.drops)
+	}
+}
+
+func TestLinkHeadCompaction(t *testing.T) {
+	s := New()
+	dst := &collect{sim: s}
+	l := NewLink(s, Rate(80_000_000), 0, 10_000_000, dst)
+	const n = 10_000
+	s.Schedule(0, func() {
+		for i := 0; i < n; i++ {
+			p := mkpkt(s, 100)
+			p.Seq = int64(i)
+			l.Send(p)
+		}
+	})
+	s.Run(time.Minute)
+	if len(dst.pkts) != n {
+		t.Fatalf("delivered %d, want %d", len(dst.pkts), n)
+	}
+	for i, p := range dst.pkts {
+		if p.Seq != int64(i) {
+			t.Fatalf("FIFO violated at %d after compaction", i)
+		}
+	}
+}
+
+func TestDemuxRouting(t *testing.T) {
+	s := New()
+	a := &collect{sim: s}
+	b := &collect{sim: s}
+	d := NewDemux()
+	d.Register(1, a)
+	d.Register(2, b)
+	d.Deliver(&Packet{Flow: 1})
+	d.Deliver(&Packet{Flow: 2})
+	d.Deliver(&Packet{Flow: 2})
+	d.Deliver(&Packet{Flow: 99})
+	if len(a.pkts) != 1 || len(b.pkts) != 2 {
+		t.Fatalf("routed (%d,%d), want (1,2)", len(a.pkts), len(b.pkts))
+	}
+	if d.Orphans() != 1 {
+		t.Fatalf("orphans = %d, want 1", d.Orphans())
+	}
+	d.Unregister(2)
+	d.Deliver(&Packet{Flow: 2})
+	if d.Orphans() != 2 {
+		t.Fatalf("orphans after unregister = %d, want 2", d.Orphans())
+	}
+}
+
+func TestDemuxFallback(t *testing.T) {
+	s := New()
+	fb := &collect{sim: s}
+	d := NewDemux()
+	d.SetFallback(fb)
+	d.Deliver(&Packet{Flow: 7})
+	if len(fb.pkts) != 1 || d.Orphans() != 0 {
+		t.Fatalf("fallback got %d pkts, orphans %d; want 1, 0", len(fb.pkts), d.Orphans())
+	}
+}
+
+func TestDumbbellDefaults(t *testing.T) {
+	s := New()
+	d := NewDumbbell(s, DumbbellConfig{})
+	if d.Bottleneck.Rate() != OC3 {
+		t.Errorf("bottleneck rate = %d, want OC3", d.Bottleneck.Rate())
+	}
+	if d.RTT() != 100*time.Millisecond {
+		t.Errorf("RTT = %v, want 100ms", d.RTT())
+	}
+	// 100 ms of OC3 ≈ 1.944 MB.
+	wantQ := OC3.Bytes(100 * time.Millisecond)
+	if d.Bottleneck.QueueCap() != wantQ {
+		t.Errorf("queue cap = %d, want %d", d.Bottleneck.QueueCap(), wantQ)
+	}
+}
+
+func TestDumbbellEndToEnd(t *testing.T) {
+	s := New()
+	d := NewDumbbell(s, DumbbellConfig{})
+	sink := &collect{sim: s}
+	d.FwdDemux.Register(42, sink)
+	s.Schedule(0, func() {
+		d.Bottleneck.Send(&Packet{ID: s.NextPacketID(), Flow: 42, Size: 1500})
+	})
+	s.Run(time.Second)
+	if len(sink.pkts) != 1 {
+		t.Fatalf("delivered %d, want 1", len(sink.pkts))
+	}
+	// ~50 ms prop + ~77 µs serialization at OC3.
+	if sink.at[0] < 50*time.Millisecond || sink.at[0] > 51*time.Millisecond {
+		t.Fatalf("delivery at %v, want ≈50ms", sink.at[0])
+	}
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Histogram is a fixed-layout log-scale histogram for positive durations,
+// suitable for streaming one-way-delay samples: buckets grow
+// geometrically from Min to Max so that both sub-millisecond jitter and
+// multi-second outliers resolve. The zero value is not usable; create one
+// with NewHistogram.
+type Histogram struct {
+	min, max float64 // seconds
+	ratio    float64 // per-bucket growth factor
+	counts   []uint64
+	under    uint64
+	over     uint64
+	n        uint64
+	sum      float64
+}
+
+// NewHistogram creates a histogram spanning [min, max] with the given
+// number of buckets.
+func NewHistogram(min, max time.Duration, buckets int) *Histogram {
+	if min <= 0 || max <= min || buckets < 1 {
+		panic(fmt.Sprintf("stats: invalid histogram [%v, %v] x%d", min, max, buckets))
+	}
+	h := &Histogram{
+		min:    min.Seconds(),
+		max:    max.Seconds(),
+		counts: make([]uint64, buckets),
+	}
+	h.ratio = math.Pow(h.max/h.min, 1/float64(buckets))
+	return h
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.n++
+	s := d.Seconds()
+	h.sum += s
+	switch {
+	case s < h.min:
+		h.under++
+	case s >= h.max:
+		h.over++
+	default:
+		i := int(math.Log(s/h.min) / math.Log(h.ratio))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.n) * float64(time.Second))
+}
+
+// bucketUpper returns the upper edge of bucket i in seconds.
+func (h *Histogram) bucketUpper(i int) float64 {
+	return h.min * math.Pow(h.ratio, float64(i+1))
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q < 1) of the
+// recorded samples, resolved to bucket granularity.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.n == 0 || q <= 0 || q >= 1 {
+		return 0
+	}
+	target := uint64(q * float64(h.n))
+	cum := h.under
+	if cum > target {
+		return time.Duration(h.min * float64(time.Second))
+	}
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			return time.Duration(h.bucketUpper(i) * float64(time.Second))
+		}
+	}
+	return time.Duration(h.max * float64(time.Second))
+}
+
+// Quantiles returns upper bounds for several quantiles at once.
+func (h *Histogram) Quantiles(qs ...float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	if h.n == 0 {
+		return "no samples"
+	}
+	qs := h.Quantiles(0.5, 0.95, 0.99)
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50≤%v p95≤%v p99≤%v",
+		h.n, h.Mean().Round(time.Microsecond),
+		qs[0].Round(time.Microsecond), qs[1].Round(time.Microsecond), qs[2].Round(time.Microsecond))
+	return b.String()
+}
+
+// ECDF computes an empirical CDF from raw samples: the returned function
+// maps x to P(X ≤ x). Useful in tests and small analyses where keeping
+// all samples is fine.
+func ECDF(samples []float64) func(float64) float64 {
+	xs := append([]float64(nil), samples...)
+	sort.Float64s(xs)
+	return func(x float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		i := sort.SearchFloat64s(xs, x)
+		for i < len(xs) && xs[i] == x {
+			i++
+		}
+		return float64(i) / float64(len(xs))
+	}
+}

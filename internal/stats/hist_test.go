@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Second, 200)
+	// Uniform 10..100 ms.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100_000; i++ {
+		h.Add(time.Duration(10+rng.Intn(90)) * time.Millisecond)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 50*time.Millisecond || p50 > 62*time.Millisecond {
+		t.Errorf("p50 = %v, want ≈55ms", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 95*time.Millisecond || p99 > 110*time.Millisecond {
+		t.Errorf("p99 = %v, want ≈99ms", p99)
+	}
+	if h.N() != 100_000 {
+		t.Errorf("N = %d", h.N())
+	}
+	mean := h.Mean()
+	if mean < 50*time.Millisecond || mean > 60*time.Millisecond {
+		t.Errorf("mean = %v, want ≈54.5ms", mean)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second, 64)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10_000; i++ {
+		h.Add(time.Duration(rng.ExpFloat64() * float64(50*time.Millisecond)))
+	}
+	prev := time.Duration(0)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile %v < quantile at lower q (%v)", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(10*time.Millisecond, 100*time.Millisecond, 8)
+	h.Add(time.Millisecond)      // under
+	h.Add(time.Second)           // over
+	h.Add(50 * time.Millisecond) // in range
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+	// Quantile 0.99 should land at the max bound due to the overflow
+	// sample.
+	if q := h.Quantile(0.99); q != 100*time.Millisecond {
+		t.Errorf("p99 = %v, want clamped to 100ms", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second, 8)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	if h.String() != "no samples" {
+		t.Fatalf("String() = %q", h.String())
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram accepted")
+		}
+	}()
+	NewHistogram(0, time.Second, 8)
+}
+
+func TestECDF(t *testing.T) {
+	cdf := ECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := cdf(c.x); got != c.want {
+			t.Errorf("cdf(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if ECDF(nil)(1) != 0 {
+		t.Error("empty ECDF not zero")
+	}
+}

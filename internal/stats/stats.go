@@ -1,0 +1,103 @@
+// Package stats provides small statistical helpers shared by the traffic
+// generators, the ground-truth analyzer and the loss estimators: running
+// moments (Welford), duration summaries, and the heavy-tailed and
+// memoryless random variates the paper's workloads are built from.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Summary accumulates a sample's count, mean and variance using Welford's
+// online algorithm. The zero value is an empty summary ready for use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x into the summary.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddDuration incorporates d, in seconds.
+func (s *Summary) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the sample count.
+func (s Summary) N() int { return s.n }
+
+// Mean returns the sample mean, or 0 for an empty summary.
+func (s Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance, or 0 for fewer than 2 samples.
+func (s Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s Summary) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest sample, or 0 for an empty summary.
+func (s Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample, or 0 for an empty summary.
+func (s Summary) Max() float64 { return s.max }
+
+// MeanDuration returns the mean as a time.Duration.
+func (s Summary) MeanDuration() time.Duration {
+	return time.Duration(s.mean * float64(time.Second))
+}
+
+// StdDevDuration returns the standard deviation as a time.Duration.
+func (s Summary) StdDevDuration() time.Duration {
+	return time.Duration(s.StdDev() * float64(time.Second))
+}
+
+// Exp draws an exponentially distributed duration with the given mean.
+// This is the memoryless spacing used for Poisson-modulated probing and
+// for the randomly spaced loss episodes in the paper's CBR scenario.
+func Exp(rng *rand.Rand, mean time.Duration) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// Pareto draws a Pareto-distributed value with the given shape alpha and
+// minimum xm. Heavy-tailed object sizes (alpha slightly above 1) are what
+// make web-like traffic bursty across time scales.
+func Pareto(rng *rand.Rand, alpha, xm float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// BoundedPareto draws a Pareto value truncated to at most hi by rejection.
+func BoundedPareto(rng *rand.Rand, alpha, xm, hi float64) float64 {
+	for i := 0; i < 64; i++ {
+		if v := Pareto(rng, alpha, xm); v <= hi {
+			return v
+		}
+	}
+	return hi
+}

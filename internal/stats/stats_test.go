@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Population variance of this classic set is 4; sample variance is 32/7.
+	if got, want := s.Var(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Var = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Fatal("empty summary not all zero")
+	}
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Var() != 0 {
+		t.Fatalf("single-sample summary: mean %v var %v", s.Mean(), s.Var())
+	}
+}
+
+func TestSummaryDurations(t *testing.T) {
+	var s Summary
+	s.AddDuration(100 * time.Millisecond)
+	s.AddDuration(200 * time.Millisecond)
+	if got, want := s.MeanDuration(), 150*time.Millisecond; got != want {
+		t.Errorf("MeanDuration = %v, want %v", got, want)
+	}
+	if s.StdDevDuration() <= 0 {
+		t.Errorf("StdDevDuration = %v, want > 0", s.StdDevDuration())
+	}
+}
+
+// Property: Welford mean matches the naive sum/count for any input.
+func TestSummaryMatchesNaiveProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		var sum float64
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			s.Add(x)
+			sum += x
+			n++
+		}
+		if n == 0 {
+			return s.N() == 0
+		}
+		naive := sum / float64(n)
+		return math.Abs(s.Mean()-naive) <= 1e-6*(1+math.Abs(naive))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Summary
+	mean := 10 * time.Second
+	for i := 0; i < 20000; i++ {
+		d := Exp(rng, mean)
+		if d < 0 {
+			t.Fatalf("negative exponential draw %v", d)
+		}
+		s.AddDuration(d)
+	}
+	if got := s.Mean(); math.Abs(got-10) > 0.3 {
+		t.Errorf("empirical mean %.3fs, want ≈10s", got)
+	}
+}
+
+func TestParetoProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const alpha, xm = 1.5, 1000.0
+	var s Summary
+	for i := 0; i < 50000; i++ {
+		v := Pareto(rng, alpha, xm)
+		if v < xm {
+			t.Fatalf("Pareto draw %v below minimum %v", v, xm)
+		}
+		s.Add(v)
+	}
+	// E[X] = alpha*xm/(alpha-1) = 3000 for alpha=1.5. The tail is heavy,
+	// so allow a generous band.
+	if s.Mean() < 2000 || s.Mean() > 4500 {
+		t.Errorf("Pareto empirical mean %.0f, want ≈3000", s.Mean())
+	}
+}
+
+func TestBoundedPareto(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 10000; i++ {
+		v := BoundedPareto(rng, 1.2, 100, 10000)
+		if v < 100 || v > 10000 {
+			t.Fatalf("BoundedPareto draw %v outside [100,10000]", v)
+		}
+	}
+}

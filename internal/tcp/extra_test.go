@@ -1,0 +1,238 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"badabing/internal/simnet"
+)
+
+// arrivalTap records data-segment arrival order at a link.
+type arrivalTap struct{ seqs []int64 }
+
+func (a *arrivalTap) Arrive(_ time.Duration, p *simnet.Packet, _ int) {
+	if p.Kind == simnet.Data {
+		a.seqs = append(a.seqs, p.Seq)
+	}
+}
+func (a *arrivalTap) Dropped(time.Duration, *simnet.Packet, simnet.Drop) {}
+func (a *arrivalTap) Depart(time.Duration, *simnet.Packet, int)          {}
+
+func TestSendJitterPreservesOrder(t *testing.T) {
+	s := simnet.New()
+	d := simnet.NewDumbbell(s, simnet.DumbbellConfig{})
+	tap := &arrivalTap{}
+	d.Bottleneck.AddTap(tap)
+	Start(s, 1, d.Bottleneck, d.Reverse, d.FwdDemux, d.RevDemux, Config{
+		TotalBytes: 750_000,
+		SendJitter: 500 * time.Microsecond,
+	})
+	s.Run(time.Minute)
+	if len(tap.seqs) == 0 {
+		t.Fatal("no segments observed")
+	}
+	// Clean path, single flow, no retransmissions: arrival order must
+	// be exactly sequence order despite per-segment jitter.
+	for i := 1; i < len(tap.seqs); i++ {
+		if tap.seqs[i] < tap.seqs[i-1] {
+			t.Fatalf("jitter reordered segments: %d after %d", tap.seqs[i], tap.seqs[i-1])
+		}
+	}
+}
+
+func TestJitteredFlowCompletes(t *testing.T) {
+	s := simnet.New()
+	d := simnet.NewDumbbell(s, simnet.DumbbellConfig{})
+	done := false
+	f := Start(s, 1, d.Bottleneck, d.Reverse, d.FwdDemux, d.RevDemux, Config{
+		TotalBytes: 1_500_000,
+		SendJitter: 300 * time.Microsecond,
+		OnComplete: func() { done = true },
+	})
+	s.Run(time.Minute)
+	if !done {
+		t.Fatal("jittered flow did not complete")
+	}
+	if _, retrans, _, _ := f.Counters(); retrans != 0 {
+		t.Fatalf("jitter on a clean path caused %d retransmissions", retrans)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	s := simnet.New()
+	d := simnet.NewDumbbell(s, simnet.DumbbellConfig{
+		BottleneckRate: simnet.Rate(20_000_000),
+		QueueDuration:  50 * time.Millisecond,
+	})
+	a := Start(s, 1, d.Bottleneck, d.Reverse, d.FwdDemux, d.RevDemux, Config{SendJitter: 200 * time.Microsecond})
+	b := Start(s, 2, d.Bottleneck, d.Reverse, d.FwdDemux, d.RevDemux, Config{SendJitter: 200 * time.Microsecond})
+	s.Run(2 * time.Minute)
+	ra, rb := float64(a.AckedSegments()), float64(b.AckedSegments())
+	if ra == 0 || rb == 0 {
+		t.Fatalf("starvation: %v vs %v", ra, rb)
+	}
+	ratio := ra / rb
+	if ratio < 1.0/3 || ratio > 3 {
+		t.Errorf("unfair split %.0f vs %.0f segments (ratio %.2f)", ra, rb, ratio)
+	}
+}
+
+func TestTimeoutBackoffOnDeadPath(t *testing.T) {
+	s := simnet.New()
+	d := simnet.NewDumbbell(s, simnet.DumbbellConfig{})
+	f := Start(s, 1, d.Bottleneck, d.Reverse, d.FwdDemux, d.RevDemux, Config{TotalBytes: 15_000})
+	// Kill the return path: ACKs vanish.
+	d.RevDemux.Unregister(1)
+	s.Run(2 * time.Minute)
+	_, _, timeouts, _ := f.Counters()
+	if timeouts < 2 {
+		t.Fatalf("only %d timeouts on a dead path in 2 minutes", timeouts)
+	}
+	// Exponential backoff: far fewer timeouts than 120s / 1s.
+	if timeouts > 10 {
+		t.Fatalf("%d timeouts — backoff is not exponential", timeouts)
+	}
+	if f.Done() {
+		t.Fatal("flow completed without ACKs")
+	}
+}
+
+func TestFiniteFlowExactSegments(t *testing.T) {
+	s := simnet.New()
+	d := simnet.NewDumbbell(s, simnet.DumbbellConfig{})
+	// 10001 bytes = 7 segments of 1500 (ceil).
+	f := Start(s, 1, d.Bottleneck, d.Reverse, d.FwdDemux, d.RevDemux, Config{TotalBytes: 10_001})
+	s.Run(10 * time.Second)
+	if !f.Done() {
+		t.Fatal("not done")
+	}
+	if f.AckedSegments() != 7 {
+		t.Fatalf("acked %d segments, want 7", f.AckedSegments())
+	}
+	sent, _, _, _ := f.Counters()
+	if sent != 7 {
+		t.Fatalf("sent %d segments, want 7", sent)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.applyDefaults()
+	if c.SegmentSize != 1500 || c.AckSize != 40 || c.RcvWnd != 256 ||
+		c.InitCwnd != 2 || c.MinRTO != time.Second {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+}
+
+func TestOnCompleteExactlyOnce(t *testing.T) {
+	s := simnet.New()
+	d := simnet.NewDumbbell(s, simnet.DumbbellConfig{})
+	calls := 0
+	Start(s, 1, d.Bottleneck, d.Reverse, d.FwdDemux, d.RevDemux, Config{
+		TotalBytes: 150_000,
+		OnComplete: func() { calls++ },
+	})
+	s.Run(time.Minute)
+	if calls != 1 {
+		t.Fatalf("OnComplete called %d times", calls)
+	}
+}
+
+func TestCwndNeverBelowOneWindow(t *testing.T) {
+	s := simnet.New()
+	d := simnet.NewDumbbell(s, simnet.DumbbellConfig{
+		BottleneckRate: simnet.Rate(5_000_000),
+		QueueDuration:  10 * time.Millisecond,
+	})
+	f := Start(s, 1, d.Bottleneck, d.Reverse, d.FwdDemux, d.RevDemux, Config{})
+	min := 1e9
+	var poll func()
+	poll = func() {
+		if w := f.Cwnd(); w < min {
+			min = w
+		}
+		s.Schedule(10*time.Millisecond, poll)
+	}
+	s.Schedule(0, poll)
+	s.Run(time.Minute)
+	if min < 1 {
+		t.Fatalf("cwnd fell below 1 segment: %v", min)
+	}
+}
+
+// ackCounter counts ACK packets on the reverse link.
+type ackCounter struct{ acks uint64 }
+
+func (a *ackCounter) Arrive(_ time.Duration, p *simnet.Packet, _ int) {
+	if p.Kind == simnet.Ack {
+		a.acks++
+	}
+}
+func (a *ackCounter) Dropped(time.Duration, *simnet.Packet, simnet.Drop) {}
+func (a *ackCounter) Depart(time.Duration, *simnet.Packet, int)          {}
+
+func TestDelayedAckHalvesAckTraffic(t *testing.T) {
+	run := func(delack bool) (acks uint64, segs int64) {
+		s := simnet.New()
+		d := simnet.NewDumbbell(s, simnet.DumbbellConfig{})
+		ctr := &ackCounter{}
+		d.Reverse.AddTap(ctr)
+		f := Start(s, 1, d.Bottleneck, d.Reverse, d.FwdDemux, d.RevDemux, Config{
+			TotalBytes: 3_000_000,
+			DelayedAck: delack,
+		})
+		s.Run(time.Minute)
+		if !f.Done() {
+			t.Fatal("transfer incomplete")
+		}
+		return ctr.acks, f.AckedSegments()
+	}
+	withoutAcks, segs := run(false)
+	withAcks, _ := run(true)
+	if withoutAcks < uint64(segs) {
+		t.Fatalf("per-packet acking sent %d acks for %d segments", withoutAcks, segs)
+	}
+	// Delayed ACKs should roughly halve the ACK count.
+	if withAcks > withoutAcks*2/3 {
+		t.Errorf("delayed acks = %d, per-packet = %d: no meaningful reduction",
+			withAcks, withoutAcks)
+	}
+}
+
+func TestDelayedAckStillRecoversLoss(t *testing.T) {
+	s := simnet.New()
+	d := simnet.NewDumbbell(s, simnet.DumbbellConfig{
+		BottleneckRate: simnet.Rate(10_000_000),
+		QueueDuration:  20 * time.Millisecond,
+	})
+	done := false
+	f := Start(s, 1, d.Bottleneck, d.Reverse, d.FwdDemux, d.RevDemux, Config{
+		TotalBytes: 3_000_000,
+		DelayedAck: true,
+		OnComplete: func() { done = true },
+	})
+	s.Run(3 * time.Minute)
+	if !done {
+		t.Fatal("delayed-ack flow did not complete under loss")
+	}
+	if _, _, _, fastRtx := f.Counters(); fastRtx == 0 {
+		t.Error("no fast retransmits — duplicate ACKs not flowing with delayed ACKs")
+	}
+}
+
+func TestDelayedAckLoneSegmentTimeout(t *testing.T) {
+	// A 1-segment transfer: the lone segment's ACK must arrive via the
+	// delayed-ACK timer, not hang forever.
+	s := simnet.New()
+	d := simnet.NewDumbbell(s, simnet.DumbbellConfig{})
+	done := false
+	Start(s, 1, d.Bottleneck, d.Reverse, d.FwdDemux, d.RevDemux, Config{
+		TotalBytes: 1000,
+		DelayedAck: true,
+		OnComplete: func() { done = true },
+	})
+	s.Run(2 * time.Second)
+	if !done {
+		t.Fatal("lone segment never acknowledged")
+	}
+}

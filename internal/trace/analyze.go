@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"io"
+	"time"
+
+	"badabing/internal/stats"
+)
+
+// Summary is the offline analysis of a trace: the same loss
+// characteristics the live capture monitor computes, reconstructed purely
+// from recorded packet events.
+type Summary struct {
+	Records   uint64
+	Arrivals  uint64
+	Departs   uint64
+	Drops     uint64
+	Span      time.Duration
+	LossRate  float64
+	Episodes  []EpisodeSummary
+	Frequency float64 // fraction of slots intersecting an episode
+	Duration  stats.Summary
+	// PeakQueue is the highest observed occupancy in bytes.
+	PeakQueue uint32
+}
+
+// EpisodeSummary is one reconstructed loss episode.
+type EpisodeSummary struct {
+	Start, End time.Duration
+	Drops      int
+}
+
+// AnalyzeConfig controls episode reconstruction; the defaults match the
+// live capture monitor so online and offline results agree.
+type AnalyzeConfig struct {
+	// MaxGap merges drops closer than this. Default 30 ms.
+	MaxGap time.Duration
+	// HighWater merges across longer gaps when the queue stayed above
+	// this fraction of capacity. Default 0.9.
+	HighWater float64
+	// Slot for the frequency computation. Default 5 ms.
+	Slot time.Duration
+}
+
+func (c *AnalyzeConfig) applyDefaults() {
+	if c.MaxGap == 0 {
+		c.MaxGap = 30 * time.Millisecond
+	}
+	if c.HighWater == 0 {
+		c.HighWater = 0.9
+	}
+	if c.Slot == 0 {
+		c.Slot = 5 * time.Millisecond
+	}
+}
+
+// Analyze reads an entire trace and reconstructs its loss characteristics.
+func Analyze(r *Reader, cfg AnalyzeConfig) (Summary, error) {
+	cfg.applyDefaults()
+	var s Summary
+	highWater := uint32(cfg.HighWater * float64(r.Header.QueueCap))
+
+	var cur EpisodeSummary
+	open := false
+	var minQ uint32
+	flush := func() {
+		if open {
+			s.Episodes = append(s.Episodes, cur)
+			s.Duration.AddDuration(cur.End - cur.Start)
+			open = false
+		}
+	}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return s, err
+		}
+		s.Records++
+		if rec.T > s.Span {
+			s.Span = rec.T
+		}
+		if rec.QueueBytes > s.PeakQueue {
+			s.PeakQueue = rec.QueueBytes
+		}
+		switch rec.Event {
+		case Arrive:
+			s.Arrivals++
+		case Depart:
+			s.Departs++
+			if open && rec.QueueBytes < minQ {
+				minQ = rec.QueueBytes
+			}
+		case Drop:
+			s.Drops++
+			if !open {
+				open = true
+				cur = EpisodeSummary{Start: rec.T, End: rec.T, Drops: 1}
+				minQ = r.Header.QueueCap
+				continue
+			}
+			gap := rec.T - cur.End
+			if gap <= cfg.MaxGap || minQ >= highWater {
+				cur.End = rec.T
+				cur.Drops++
+			} else {
+				s.Episodes = append(s.Episodes, cur)
+				s.Duration.AddDuration(cur.End - cur.Start)
+				cur = EpisodeSummary{Start: rec.T, End: rec.T, Drops: 1}
+			}
+			minQ = r.Header.QueueCap
+		}
+	}
+	flush()
+	if s.Arrivals > 0 {
+		s.LossRate = float64(s.Drops) / float64(s.Arrivals)
+	}
+	if s.Span > 0 && cfg.Slot > 0 {
+		nSlots := int64(s.Span/cfg.Slot) + 1
+		congested := int64(0)
+		for _, e := range s.Episodes {
+			congested += int64(e.End/cfg.Slot) - int64(e.Start/cfg.Slot) + 1
+		}
+		s.Frequency = float64(congested) / float64(nSlots)
+	}
+	return s, nil
+}
+
+// MatchLoss reproduces the paper's DAG trace-differencing: given the
+// arrival records of an ingress trace and the departure records of an
+// egress trace, it returns the IDs of packets that entered the queue but
+// never left — the lost packets — without consulting any Drop records.
+func MatchLoss(ingress, egress []Record) []uint64 {
+	departed := make(map[uint64]bool)
+	for _, r := range egress {
+		if r.Event == Depart {
+			departed[r.ID] = true
+		}
+	}
+	var lost []uint64
+	for _, r := range ingress {
+		if r.Event == Arrive && !departed[r.ID] {
+			lost = append(lost, r.ID)
+		}
+	}
+	return lost
+}

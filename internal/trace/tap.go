@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"time"
+
+	"badabing/internal/simnet"
+)
+
+// Tap records every packet event at a simulated link into a Writer — the
+// in-simulation equivalent of attaching a DAG capture card to the link's
+// optical splitter.
+type Tap struct {
+	w   *Writer
+	err error
+}
+
+// AttachTap creates a Writer-backed tap on link. The caller owns flushing
+// the Writer after the simulation drains. The first write error is
+// retained and reported by Err; subsequent events are dropped.
+func AttachTap(link *simnet.Link, w *Writer) *Tap {
+	t := &Tap{w: w}
+	link.AddTap(t)
+	return t
+}
+
+// Err returns the first write error encountered, if any.
+func (t *Tap) Err() error { return t.err }
+
+func (t *Tap) write(r Record) {
+	if t.err != nil {
+		return
+	}
+	t.err = t.w.Write(r)
+}
+
+// Arrive implements simnet.Tap.
+func (t *Tap) Arrive(now time.Duration, p *simnet.Packet, queued int) {
+	t.write(Record{
+		T: now, Event: Arrive, Kind: uint8(p.Kind), Flow: p.Flow,
+		ID: p.ID, Size: uint32(p.Size), Seq: p.Seq, QueueBytes: uint32(queued),
+	})
+}
+
+// Depart implements simnet.Tap.
+func (t *Tap) Depart(now time.Duration, p *simnet.Packet, queued int) {
+	t.write(Record{
+		T: now, Event: Depart, Kind: uint8(p.Kind), Flow: p.Flow,
+		ID: p.ID, Size: uint32(p.Size), Seq: p.Seq, QueueBytes: uint32(queued),
+	})
+}
+
+// Dropped implements simnet.Tap.
+func (t *Tap) Dropped(now time.Duration, p *simnet.Packet, _ simnet.Drop) {
+	t.write(Record{
+		T: now, Event: Drop, Kind: uint8(p.Kind), Flow: p.Flow,
+		ID: p.ID, Size: uint32(p.Size), Seq: p.Seq,
+	})
+}

@@ -1,0 +1,53 @@
+package trace
+
+// Passive TCP loss estimation (related work §2: "Allman et al.
+// demonstrated how to estimate TCP loss rates from passive packet traces
+// of TCP transfers taken close to the sender"). Given the ingress side of
+// a trace, a segment seen more than once for the same (flow, seq) is a
+// retransmission; the retransmission rate approximates the flow's loss
+// rate. Taken close to the sender the estimate is biased *upward*
+// (spurious retransmissions count too), and it can only see flows that
+// carry traffic — both limitations the paper contrasts with active
+// probing.
+
+// TCPLossEstimate is the per-trace passive estimate.
+type TCPLossEstimate struct {
+	// Flows with at least one data segment.
+	Flows int
+	// Segments is the number of first transmissions observed.
+	Segments uint64
+	// Retransmissions is the number of repeated (flow, seq) sightings.
+	Retransmissions uint64
+	// Rate is Retransmissions / (Segments + Retransmissions).
+	Rate float64
+}
+
+// EstimateTCPLoss scans arrival records for data packets (Kind value 0 =
+// simnet.Data) and computes the retransmission-based loss estimate.
+func EstimateTCPLoss(recs []Record) TCPLossEstimate {
+	type key struct {
+		flow uint64
+		seq  int64
+	}
+	seen := make(map[key]bool)
+	flows := make(map[uint64]bool)
+	var est TCPLossEstimate
+	for _, r := range recs {
+		if r.Event != Arrive || r.Kind != 0 {
+			continue
+		}
+		k := key{r.Flow, r.Seq}
+		if seen[k] {
+			est.Retransmissions++
+			continue
+		}
+		seen[k] = true
+		flows[r.Flow] = true
+		est.Segments++
+	}
+	est.Flows = len(flows)
+	if total := est.Segments + est.Retransmissions; total > 0 {
+		est.Rate = float64(est.Retransmissions) / float64(total)
+	}
+	return est
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"badabing/internal/capture"
+	"badabing/internal/simnet"
+	"badabing/internal/traffic"
+)
+
+func TestEstimateTCPLossSynthetic(t *testing.T) {
+	recs := []Record{
+		{Event: Arrive, Kind: 0, Flow: 1, Seq: 0},
+		{Event: Arrive, Kind: 0, Flow: 1, Seq: 1},
+		{Event: Arrive, Kind: 0, Flow: 1, Seq: 1}, // retransmission
+		{Event: Arrive, Kind: 0, Flow: 2, Seq: 0},
+		{Event: Arrive, Kind: 1, Flow: 3, Seq: 0}, // ACK: ignored
+		{Event: Depart, Kind: 0, Flow: 1, Seq: 2}, // not an arrival
+	}
+	est := EstimateTCPLoss(recs)
+	if est.Flows != 2 {
+		t.Fatalf("flows = %d, want 2", est.Flows)
+	}
+	if est.Segments != 3 || est.Retransmissions != 1 {
+		t.Fatalf("segments/retrans = %d/%d, want 3/1", est.Segments, est.Retransmissions)
+	}
+	if est.Rate != 0.25 {
+		t.Fatalf("rate = %v, want 0.25", est.Rate)
+	}
+}
+
+func TestEstimateTCPLossEmpty(t *testing.T) {
+	est := EstimateTCPLoss(nil)
+	if est.Rate != 0 || est.Flows != 0 {
+		t.Fatalf("empty estimate: %+v", est)
+	}
+}
+
+// TestPassiveEstimateTracksRouterLossRate runs real TCP over a congested
+// bottleneck and compares the retransmission-based passive estimate to
+// the monitor's true router-centric loss rate. Close to the sender (our
+// tap is pre-queue), retransmission rate ≈ loss rate, modulo spurious
+// retransmissions.
+func TestPassiveEstimateTracksRouterLossRate(t *testing.T) {
+	sim := simnet.New()
+	d := simnet.NewDumbbell(sim, simnet.DumbbellConfig{
+		BottleneckRate: simnet.Rate(20_000_000),
+		QueueDuration:  40 * time.Millisecond,
+	})
+	mon := capture.Attach(sim, d.Bottleneck, capture.Config{})
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{BitsPerSec: 20_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := AttachTap(d.Bottleneck, w)
+	ids := traffic.NewIDSpace(0)
+	traffic.NewInfiniteTCP(sim, d, ids, 10)
+	const horizon = 60 * time.Second
+	sim.Run(horizon)
+	if err := tap.Err(); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateTCPLoss(recs)
+	truth := mon.Truth(horizon, 5*time.Millisecond)
+	if truth.LossRate <= 0 {
+		t.Fatal("no loss in scenario")
+	}
+	if est.Rate <= 0 {
+		t.Fatal("passive estimate found no retransmissions")
+	}
+	ratio := est.Rate / truth.LossRate
+	// Data-only loss rate vs all-packets loss rate plus spurious
+	// retransmissions: allow a factor of three.
+	if ratio < 1.0/3 || ratio > 3 {
+		t.Errorf("passive rate %.4f vs router-centric %.4f (ratio %.2f)",
+			est.Rate, truth.LossRate, ratio)
+	}
+}

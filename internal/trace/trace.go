@@ -1,0 +1,184 @@
+// Package trace provides passive packet-trace capture and offline
+// analysis, mirroring the paper's measurement methodology: DAG cards on
+// optical splitters captured every packet entering and leaving the
+// bottleneck, and losses were identified by comparing the two traces.
+//
+// A Writer streams per-packet events (arrivals, departures, drops, with
+// queue occupancy) into a compact binary format; a Reader iterates them;
+// Analyze reconstructs loss episodes and summary statistics offline; and
+// MatchLoss reproduces the paper's trace-differencing technique, finding
+// lost packets by comparing an ingress and an egress trace without using
+// explicit drop records.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic identifies trace files.
+const Magic uint32 = 0x42425452 // "BBTR"
+
+// Version of the trace format.
+const Version = 1
+
+// Event is the kind of a trace record.
+type Event uint8
+
+// Events.
+const (
+	Arrive Event = iota // packet arrived at the link (pre-queue)
+	Depart              // packet finished transmission (post-queue)
+	Drop                // packet discarded at the queue
+)
+
+func (e Event) String() string {
+	switch e {
+	case Arrive:
+		return "arrive"
+	case Depart:
+		return "depart"
+	case Drop:
+		return "drop"
+	default:
+		return "unknown"
+	}
+}
+
+// Record is one trace entry. QueueBytes is the buffer occupancy observed
+// at the event, which lets offline tools reconstruct the queue-length
+// time series exactly as the paper inferred it from DAG timestamps.
+type Record struct {
+	T          time.Duration
+	Event      Event
+	Kind       uint8 // simnet.Kind of the packet
+	Flow       uint64
+	ID         uint64
+	Size       uint32
+	Seq        int64
+	QueueBytes uint32
+}
+
+// Header describes the traced link.
+type Header struct {
+	BitsPerSec int64
+	QueueCap   uint32
+}
+
+const headerSize = 4 + 1 + 3 + 8 + 4 // magic, version, pad, rate, qcap
+const recordSize = 8 + 1 + 1 + 8 + 8 + 4 + 8 + 4
+
+// Writer streams trace records. Close (or Flush) must be called to ensure
+// buffered records reach the underlying writer.
+type Writer struct {
+	w   *bufio.Writer
+	buf [recordSize]byte
+	n   uint64
+}
+
+// NewWriter writes the file header and returns a Writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], Magic)
+	hdr[4] = Version
+	binary.BigEndian.PutUint64(hdr[8:], uint64(h.BitsPerSec))
+	binary.BigEndian.PutUint32(hdr[16:], h.QueueCap)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	b := w.buf[:]
+	binary.BigEndian.PutUint64(b[0:], uint64(r.T))
+	b[8] = byte(r.Event)
+	b[9] = r.Kind
+	binary.BigEndian.PutUint64(b[10:], r.Flow)
+	binary.BigEndian.PutUint64(b[18:], r.ID)
+	binary.BigEndian.PutUint32(b[26:], r.Size)
+	binary.BigEndian.PutUint64(b[30:], uint64(r.Seq))
+	binary.BigEndian.PutUint32(b[38:], r.QueueBytes)
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns how many records have been written.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush pushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader iterates a trace.
+type Reader struct {
+	r      *bufio.Reader
+	Header Header
+	buf    [recordSize]byte
+}
+
+// NewReader validates the file header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != Magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if hdr[4] != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[4])
+	}
+	return &Reader{
+		r: br,
+		Header: Header{
+			BitsPerSec: int64(binary.BigEndian.Uint64(hdr[8:])),
+			QueueCap:   binary.BigEndian.Uint32(hdr[16:]),
+		},
+	}, nil
+}
+
+// Next returns the next record, or io.EOF at the end of the trace.
+func (r *Reader) Next() (Record, error) {
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return Record{}, err
+	}
+	b := r.buf[:]
+	return Record{
+		T:          time.Duration(binary.BigEndian.Uint64(b[0:])),
+		Event:      Event(b[8]),
+		Kind:       b[9],
+		Flow:       binary.BigEndian.Uint64(b[10:]),
+		ID:         binary.BigEndian.Uint64(b[18:]),
+		Size:       binary.BigEndian.Uint32(b[26:]),
+		Seq:        int64(binary.BigEndian.Uint64(b[30:])),
+		QueueBytes: binary.BigEndian.Uint32(b[38:]),
+	}, nil
+}
+
+// ReadAll drains the trace into memory.
+func ReadAll(r *Reader) ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

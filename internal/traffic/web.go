@@ -1,0 +1,182 @@
+package traffic
+
+import (
+	"math/rand"
+	"time"
+
+	"badabing/internal/simnet"
+	"badabing/internal/stats"
+	"badabing/internal/tcp"
+)
+
+// WebConfig parameterizes the Harpoon-like web workload: Poisson user
+// sessions fetching heavy-tailed objects over TCP, plus periodic load
+// surges. The paper configured Harpoon "to briefly increase its load in
+// order to induce packet loss, on average, every 20 seconds".
+type WebConfig struct {
+	// SessionRate is the mean arrival rate of steady-state sessions per
+	// second. Default 30.
+	SessionRate float64
+	// ObjectsPerSession is the mean number of objects fetched by a
+	// session (geometric). Default 5.
+	ObjectsPerSession float64
+	// ParetoAlpha shapes object sizes. Default 1.2 (heavy-tailed, the
+	// classic web-size regime).
+	ParetoAlpha float64
+	// MinObjectBytes is the Pareto scale parameter. Default 3000.
+	MinObjectBytes float64
+	// MaxObjectBytes truncates the tail. Default 5e6.
+	MaxObjectBytes float64
+	// ThinkTime is the mean pause between a session's objects.
+	// Default 500 ms.
+	ThinkTime time.Duration
+	// SurgeSpacing is the mean time between load surges. Default 20 s.
+	SurgeSpacing time.Duration
+	// SurgeSessions is how many extra single-object sessions a surge
+	// injects at once. Default 200 — enough to push the paper-scale
+	// bottleneck into overflow briefly.
+	SurgeSessions int
+	// SurgeMinBytes is the minimum object size for surge sessions.
+	// Surges model flash crowds pulling substantial objects, so their
+	// flows ramp far enough to overload the link. Default 50000.
+	SurgeMinBytes float64
+	// Seed for all workload randomness.
+	Seed int64
+}
+
+func (c *WebConfig) applyDefaults() {
+	if c.SessionRate == 0 {
+		c.SessionRate = 30
+	}
+	if c.ObjectsPerSession == 0 {
+		c.ObjectsPerSession = 5
+	}
+	if c.ParetoAlpha == 0 {
+		c.ParetoAlpha = 1.2
+	}
+	if c.MinObjectBytes == 0 {
+		c.MinObjectBytes = 3000
+	}
+	if c.MaxObjectBytes == 0 {
+		c.MaxObjectBytes = 5e6
+	}
+	if c.ThinkTime == 0 {
+		c.ThinkTime = 500 * time.Millisecond
+	}
+	if c.SurgeSpacing == 0 {
+		c.SurgeSpacing = 20 * time.Second
+	}
+	if c.SurgeSessions == 0 {
+		c.SurgeSessions = 200
+	}
+	if c.SurgeMinBytes == 0 {
+		c.SurgeMinBytes = 50_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Web drives the web-like workload.
+type Web struct {
+	sim *simnet.Sim
+	d   *simnet.Dumbbell
+	cfg WebConfig
+	rng *rand.Rand
+	ids *IDSpace
+
+	stopped   bool
+	sessions  uint64
+	transfers uint64
+	active    int
+}
+
+// NewWeb starts the workload immediately.
+func NewWeb(sim *simnet.Sim, d *simnet.Dumbbell, ids *IDSpace, cfg WebConfig) *Web {
+	cfg.applyDefaults()
+	w := &Web{
+		sim: sim,
+		d:   d,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		ids: ids,
+	}
+	w.scheduleArrival()
+	w.scheduleSurge()
+	return w
+}
+
+// Stop prevents new sessions and surges; in-flight transfers complete.
+func (w *Web) Stop() { w.stopped = true }
+
+// Sessions returns how many sessions have started.
+func (w *Web) Sessions() uint64 { return w.sessions }
+
+// Transfers returns how many object transfers have completed.
+func (w *Web) Transfers() uint64 { return w.transfers }
+
+// Active returns the number of in-flight object transfers.
+func (w *Web) Active() int { return w.active }
+
+func (w *Web) scheduleArrival() {
+	mean := time.Duration(float64(time.Second) / w.cfg.SessionRate)
+	w.sim.Schedule(stats.Exp(w.rng, mean), func() {
+		if w.stopped {
+			return
+		}
+		w.startSession()
+		w.scheduleArrival()
+	})
+}
+
+func (w *Web) scheduleSurge() {
+	w.sim.Schedule(stats.Exp(w.rng, w.cfg.SurgeSpacing), func() {
+		if w.stopped {
+			return
+		}
+		for i := 0; i < w.cfg.SurgeSessions; i++ {
+			// Surge sessions fetch a single substantial object each:
+			// a flash crowd pulse that overloads the queue briefly,
+			// rather than a sustained multi-object load increase.
+			w.sessions++
+			w.fetchObject(1, w.cfg.SurgeMinBytes)
+		}
+		w.scheduleSurge()
+	})
+}
+
+func (w *Web) startSession() { w.startSessionMin(w.cfg.MinObjectBytes) }
+
+func (w *Web) startSessionMin(minBytes float64) {
+	w.sessions++
+	// Geometric number of objects with the configured mean.
+	n := 1
+	pCont := 1 - 1/w.cfg.ObjectsPerSession
+	for w.rng.Float64() < pCont {
+		n++
+	}
+	w.fetchObject(n, minBytes)
+}
+
+// fetchObject transfers one object, then after a think time fetches the
+// next, remaining times.
+func (w *Web) fetchObject(remaining int, minBytes float64) {
+	if remaining <= 0 || w.stopped {
+		return
+	}
+	size := int64(stats.BoundedPareto(w.rng, w.cfg.ParetoAlpha, minBytes, w.cfg.MaxObjectBytes))
+	id := w.ids.Next()
+	w.active++
+	tcp.Start(w.sim, id, w.d.Bottleneck, w.d.Reverse, w.d.FwdDemux, w.d.RevDemux, tcp.Config{
+		TotalBytes: size,
+		OnComplete: func() {
+			w.active--
+			w.transfers++
+			w.d.FwdDemux.Unregister(id)
+			w.d.RevDemux.Unregister(id)
+			w.sim.Schedule(stats.Exp(w.rng, w.cfg.ThinkTime), func() {
+				w.fetchObject(remaining-1, minBytes)
+			})
+		},
+	})
+}

@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"badabing/internal/badabing"
+)
+
+// AdaptiveConfig parameterizes a live adaptive measurement: rounds of
+// probing at an escalating rate, with the collector's control channel
+// closing the feedback loop after each round.
+type AdaptiveConfig struct {
+	// BaseID seeds the per-round session ids (BaseID, BaseID+1, ...).
+	BaseID uint64
+	// Slot width; default badabing.DefaultSlot.
+	Slot time.Duration
+	// PacketsPerProbe / PacketSize as in SenderConfig.
+	PacketsPerProbe int
+	PacketSize      int
+	// Controller holds the escalation/stopping policy.
+	Controller badabing.AdaptiveConfig
+	// DrainWait is how long to wait after a round before querying, so
+	// in-flight probes land. Default 250 ms.
+	DrainWait time.Duration
+	// QueryTimeout per attempt; default 1 s. QueryRetries: default 3
+	// (control packets share the lossy path with the probes).
+	QueryTimeout time.Duration
+	QueryRetries int
+	// Seed for round schedules; default derived from the clock.
+	Seed int64
+}
+
+func (c *AdaptiveConfig) applyDefaults() {
+	if c.Slot == 0 {
+		c.Slot = badabing.DefaultSlot
+	}
+	if c.DrainWait == 0 {
+		c.DrainWait = 250 * time.Millisecond
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = time.Second
+	}
+	if c.QueryRetries == 0 {
+		c.QueryRetries = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+}
+
+// AdaptiveResult summarizes a completed adaptive measurement.
+type AdaptiveResult struct {
+	Report    badabing.Report
+	Rounds    int
+	FinalP    float64
+	Converged bool
+	Packets   int
+}
+
+// SendAdaptive runs rounds of probing over conn until the controller's
+// stopping rule fires or its round budget is exhausted (§8 adaptivity on
+// a real path). Each round is its own wire session; after it drains, the
+// collector is queried for the round's outcome counts, which feed the
+// controller's escalation decision.
+func SendAdaptive(ctx context.Context, conn net.Conn, cfg AdaptiveConfig) (AdaptiveResult, error) {
+	cfg.applyDefaults()
+	ctrl := badabing.NewAdaptive(cfg.Controller)
+	var res AdaptiveResult
+	round := 0
+	for !ctrl.Done() {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		_, p := ctrl.NextRound(cfg.Seed + int64(round))
+		st, err := Send(ctx, conn, SenderConfig{
+			ExpID:           cfg.BaseID + uint64(round),
+			P:               p,
+			N:               roundSlots(cfg.Controller),
+			Slot:            cfg.Slot,
+			Improved:        true,
+			Seed:            cfg.Seed + int64(round),
+			PacketsPerProbe: cfg.PacketsPerProbe,
+			PacketSize:      cfg.PacketSize,
+		})
+		if err != nil {
+			return res, fmt.Errorf("wire: adaptive round %d: %w", round, err)
+		}
+		res.Packets += st.Packets
+
+		select {
+		case <-ctx.Done():
+			return res, ctx.Err()
+		case <-time.After(cfg.DrainWait):
+		}
+
+		counts, err := queryWithRetry(ctx, conn, cfg.BaseID+uint64(round), cfg)
+		if err != nil {
+			return res, fmt.Errorf("wire: adaptive round %d: %w", round, err)
+		}
+		ctrl.MergeRound(counts)
+		round++
+	}
+	res.Report = ctrl.Report()
+	res.Rounds = ctrl.Round()
+	res.FinalP = ctrl.P()
+	res.Converged = ctrl.Converged()
+	return res, nil
+}
+
+// roundSlots resolves the controller's round length, honoring its
+// defaulting rule.
+func roundSlots(c badabing.AdaptiveConfig) int64 {
+	if c.RoundSlots > 0 {
+		return c.RoundSlots
+	}
+	return 6000
+}
+
+// queryWithRetry tolerates control packets lost on the measured path.
+func queryWithRetry(ctx context.Context, conn net.Conn, expID uint64, cfg AdaptiveConfig) (badabing.Counts, error) {
+	var lastErr error
+	for attempt := 0; attempt < cfg.QueryRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return badabing.Counts{}, err
+		}
+		counts, err := QueryCounts(conn, expID, cfg.QueryTimeout)
+		if err == nil {
+			return counts, nil
+		}
+		lastErr = err
+		if err == ErrSessionNotFound {
+			// Every probe of the round was lost; report the empty
+			// round so the controller escalates.
+			return badabing.Counts{}, nil
+		}
+	}
+	return badabing.Counts{}, lastErr
+}

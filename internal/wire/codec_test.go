@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		ExpID:        12345,
+		Slot:         99887,
+		PktIdx:       2,
+		PktsPerProbe: 3,
+		Improved:     true,
+		P:            0.3,
+		N:            180000,
+		SlotWidth:    5 * time.Millisecond,
+		Seed:         -42,
+		Start:        time.Now().UnixNano(),
+		SendTime:     time.Now().UnixNano() + 12345,
+		Seq:          777,
+	}
+	buf := make([]byte, HeaderSize)
+	n, err := h.Marshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != HeaderSize {
+		t.Fatalf("marshal wrote %d, want %d", n, HeaderSize)
+	}
+	var got Header
+	if err := got.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.ExpID != h.ExpID || got.Slot != h.Slot || got.PktIdx != h.PktIdx ||
+		got.PktsPerProbe != h.PktsPerProbe || got.Improved != h.Improved ||
+		got.N != h.N || got.SlotWidth != h.SlotWidth || got.Seed != h.Seed ||
+		got.Start != h.Start || got.SendTime != h.SendTime || got.Seq != h.Seq {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+	if diff := got.P - h.P; diff < -1e-5 || diff > 1e-5 {
+		t.Fatalf("P round trip: got %v want %v", got.P, h.P)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(expID uint64, slot int64, pktIdx, per uint8, seed, start, send int64, seq uint64, pRaw uint32) bool {
+		p := (float64(pRaw%1000000) + 1) / 1000001 // (0,1)
+		h := Header{
+			ExpID: expID, Slot: slot, PktIdx: pktIdx, PktsPerProbe: per,
+			P: p, N: 1000, SlotWidth: time.Millisecond,
+			Seed: seed, Start: start, SendTime: send, Seq: seq,
+		}
+		buf := make([]byte, HeaderSize)
+		if _, err := h.Marshal(buf); err != nil {
+			return false
+		}
+		var got Header
+		if err := got.Unmarshal(buf); err != nil {
+			return false
+		}
+		dp := got.P - h.P
+		if dp < 0 {
+			dp = -dp
+		}
+		return got.ExpID == h.ExpID && got.Slot == h.Slot && got.PktIdx == h.PktIdx &&
+			got.PktsPerProbe == h.PktsPerProbe && got.Seed == h.Seed &&
+			got.Start == h.Start && got.SendTime == h.SendTime && got.Seq == h.Seq &&
+			dp < 1e-5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeaderRejectsGarbage(t *testing.T) {
+	var h Header
+	if err := h.Unmarshal(make([]byte, 4)); err == nil {
+		t.Error("short packet accepted")
+	}
+	buf := make([]byte, HeaderSize)
+	if err := h.Unmarshal(buf); err == nil {
+		t.Error("zero magic accepted")
+	}
+	good := Header{P: 0.5, N: 10, SlotWidth: time.Millisecond}
+	if _, err := good.Marshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[4] = 99 // corrupt version
+	if err := h.Unmarshal(buf); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestHeaderMarshalValidation(t *testing.T) {
+	var h Header
+	h.P = 0 // invalid
+	if _, err := h.Marshal(make([]byte, HeaderSize)); err == nil {
+		t.Error("p=0 accepted")
+	}
+	h.P = 0.5
+	if _, err := h.Marshal(make([]byte, 10)); err == nil {
+		t.Error("short buffer accepted")
+	}
+}

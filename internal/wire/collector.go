@@ -1,0 +1,305 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"badabing/internal/badabing"
+	"badabing/internal/stats"
+)
+
+// probeRec accumulates the collector's view of one probe.
+type probeRec struct {
+	got     int
+	maxOWD  time.Duration
+	maxLate time.Duration // worst sender pacing lag among the packets
+}
+
+// session is the collector's state for one ExpID.
+type session struct {
+	params   Header // schedule parameters from the first packet seen
+	probes   map[int64]*probeRec
+	packets  uint64
+	lastSeq  uint64
+	delays   *stats.Histogram
+	lastSeen time.Time
+}
+
+// Collector receives probe packets on a UDP socket and produces
+// loss-characteristic reports per session. It is the "collaborating
+// target host" of §1: the target system collects probe packets and
+// reports the loss characteristics.
+type Collector struct {
+	conn net.PacketConn
+
+	mu          sync.Mutex
+	sessions    map[uint64]*session
+	queryMarker badabing.MarkerConfig
+	closed      bool
+}
+
+// NewCollector wraps an open packet socket. Call Run to start receiving.
+func NewCollector(conn net.PacketConn) *Collector {
+	return &Collector{conn: conn, sessions: make(map[uint64]*session)}
+}
+
+// Run reads packets until the socket is closed. It is intended to be run
+// on its own goroutine.
+func (c *Collector) Run() {
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := c.conn.ReadFrom(buf)
+		now := time.Now()
+		if err != nil {
+			return
+		}
+		if expID, ok := parseQuery(buf[:n]); ok {
+			// Control queries are rare; answer off the hot path so
+			// assembly does not stall probe reception.
+			go c.handleQuery(expID, addr)
+			continue
+		}
+		var h Header
+		if err := h.Unmarshal(buf[:n]); err != nil {
+			continue // not ours
+		}
+		c.record(&h, now)
+	}
+}
+
+func (c *Collector) record(h *Header, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.sessions[h.ExpID]
+	if s == nil {
+		s = &session{
+			params: *h,
+			probes: make(map[int64]*probeRec),
+			delays: stats.NewHistogram(100*time.Microsecond, 10*time.Second, 256),
+		}
+		c.sessions[h.ExpID] = s
+	}
+	s.packets++
+	s.lastSeq = h.Seq
+	s.lastSeen = now
+	r := s.probes[h.Slot]
+	if r == nil {
+		r = &probeRec{}
+		s.probes[h.Slot] = r
+	}
+	r.got++
+	owd := time.Duration(now.UnixNano() - h.SendTime)
+	if owd > r.maxOWD {
+		r.maxOWD = owd
+	}
+	if owd > 0 {
+		s.delays.Add(owd)
+	}
+	scheduled := h.Start + h.Slot*int64(h.SlotWidth)
+	if late := time.Duration(h.SendTime - scheduled); late > r.maxLate {
+		r.maxLate = late
+	}
+}
+
+// Sessions lists the ExpIDs seen so far.
+func (c *Collector) Sessions() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]uint64, 0, len(c.sessions))
+	for id := range c.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SessionStats summarizes the raw reception state of a session.
+type SessionStats struct {
+	Packets       uint64
+	ProbesSeen    int
+	ProbesPlanned int
+	PacketsLost   int
+	// LateInvalid counts probes the sender emitted more than half a
+	// slot behind schedule. A lagging sender bunches adjacent slots'
+	// probes together, which would corrupt the experiment outcomes, so
+	// experiments touching such probes are discarded (§7: hosts that
+	// cannot sustain the discretization cannot measure at it).
+	LateInvalid int
+	// Skipped counts experiments discarded for incomplete or invalid
+	// probe observations.
+	Skipped int
+	// Skew is the fitted clock drift between sender and receiver,
+	// which Report removes from the delays before marking (§7).
+	Skew Skew
+}
+
+// ErrUnknownSession is returned for an ExpID the collector has not seen.
+var ErrUnknownSession = errors.New("wire: unknown session")
+
+// Report reconstructs the session's experiment plan from the header
+// parameters, assembles probe observations (fully lost probes included),
+// marks congestion with the given parameters and returns the estimates.
+func (c *Collector) Report(expID uint64, marker badabing.MarkerConfig) (badabing.Report, SessionStats, error) {
+	acc, ss, err := c.assemble(expID, marker)
+	if err != nil {
+		return badabing.Report{}, ss, err
+	}
+	return acc.MakeReport(), ss, nil
+}
+
+// ReportWithCI is Report plus bootstrap confidence intervals for the
+// frequency and duration estimates (§8: variability estimated directly
+// from the measured data).
+func (c *Collector) ReportWithCI(expID uint64, marker badabing.MarkerConfig, boot badabing.BootstrapConfig) (badabing.Report, badabing.Interval, badabing.Interval, SessionStats, error) {
+	rec, ss, err := c.assembleRecorder(expID, marker)
+	if err != nil {
+		return badabing.Report{}, badabing.Interval{}, badabing.Interval{}, ss, err
+	}
+	freqCI, durCI, _ := rec.Bootstrap(boot)
+	return rec.Acc.MakeReport(), freqCI, durCI, ss, nil
+}
+
+// assemble runs the reconstruction/marking pipeline and returns the
+// loaded accumulator.
+func (c *Collector) assemble(expID uint64, marker badabing.MarkerConfig) (*badabing.Accumulator, SessionStats, error) {
+	rec, ss, err := c.assembleRecorder(expID, marker)
+	if err != nil {
+		return nil, ss, err
+	}
+	return &rec.Acc, ss, nil
+}
+
+// assembleRecorder is assemble retaining the outcome sequence.
+func (c *Collector) assembleRecorder(expID uint64, marker badabing.MarkerConfig) (*badabing.Recorder, SessionStats, error) {
+	c.mu.Lock()
+	s := c.sessions[expID]
+	if s == nil {
+		c.mu.Unlock()
+		return nil, SessionStats{}, ErrUnknownSession
+	}
+	params := s.params
+	probes := make(map[int64]probeRec, len(s.probes))
+	for slot, r := range s.probes {
+		probes[slot] = *r
+	}
+	stats := SessionStats{Packets: s.packets, ProbesSeen: len(s.probes)}
+	c.mu.Unlock()
+
+	plans := badabing.Schedule(badabing.ScheduleConfig{
+		P: params.P, N: params.N, Improved: params.Improved, Seed: params.Seed,
+	})
+	seen := make(map[int64]bool)
+	var slots []int64
+	for _, pl := range plans {
+		for j := 0; j < pl.Probes; j++ {
+			slot := pl.Slot + int64(j)
+			if !seen[slot] {
+				seen[slot] = true
+				slots = append(slots, slot)
+			}
+		}
+	}
+	stats.ProbesPlanned = len(slots)
+
+	perProbe := int(params.PktsPerProbe)
+	lateLimit := params.SlotWidth / 2
+	obs := make([]badabing.ProbeObs, 0, len(slots))
+	invalid := make(map[int64]bool)
+	for _, slot := range slots {
+		o := badabing.ProbeObs{
+			Slot:        slot,
+			SentPackets: perProbe,
+			T:           time.Duration(slot) * params.SlotWidth,
+		}
+		if r, ok := probes[slot]; ok {
+			o.LostPackets = perProbe - r.got
+			o.OWD = r.maxOWD
+			if r.maxLate > lateLimit {
+				invalid[slot] = true
+				stats.LateInvalid++
+			}
+		} else {
+			o.LostPackets = perProbe
+		}
+		if o.LostPackets < 0 {
+			o.LostPackets = 0 // duplicated packets; clamp
+		}
+		stats.PacketsLost += o.LostPackets
+		obs = append(obs, o)
+	}
+
+	stats.Skew = estimateSkew(obs)
+	correctSkew(obs, stats.Skew)
+
+	marked := badabing.Mark(obs, marker)
+	bySlot := make(map[int64]bool, len(obs))
+	for i, o := range obs {
+		if invalid[o.Slot] {
+			continue
+		}
+		bySlot[o.Slot] = bySlot[o.Slot] || marked[i]
+	}
+	rec := &badabing.Recorder{}
+	rec.Acc.Slot = params.SlotWidth
+	stats.Skipped = badabing.Assemble(rec, plans, bySlot)
+	return rec, stats, nil
+}
+
+// DelayStats summarizes the raw one-way delays of a session's received
+// packets (uncorrected for clock offset or skew): sample count, mean and
+// quantile upper bounds at p50/p95/p99. ZING-style tools report delay
+// alongside loss; BADABING sessions get it for free from the same packets.
+type DelayStats struct {
+	N             uint64
+	Mean          time.Duration
+	P50, P95, P99 time.Duration
+}
+
+// Delays returns the one-way-delay statistics for a session.
+func (c *Collector) Delays(expID uint64) (DelayStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.sessions[expID]
+	if s == nil {
+		return DelayStats{}, ErrUnknownSession
+	}
+	qs := s.delays.Quantiles(0.5, 0.95, 0.99)
+	return DelayStats{
+		N:    s.delays.N(),
+		Mean: s.delays.Mean(),
+		P50:  qs[0],
+		P95:  qs[1],
+		P99:  qs[2],
+	}, nil
+}
+
+// Expire drops sessions that have received no packet for at least
+// maxIdle, returning how many were removed. A long-running collector
+// should call this periodically so abandoned sessions do not accumulate.
+func (c *Collector) Expire(maxIdle time.Duration) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cutoff := time.Now().Add(-maxIdle)
+	removed := 0
+	for id, s := range c.sessions {
+		if s.lastSeen.Before(cutoff) {
+			delete(c.sessions, id)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Close shuts the underlying socket, terminating Run.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}

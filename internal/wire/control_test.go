@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"badabing/internal/badabing"
+)
+
+func TestControlQueryRoundTrip(t *testing.T) {
+	col, addr := startCollector(t)
+	col.SetMarker(badabing.RecommendedMarker(0.5, badabing.DefaultSlot))
+	conn := dial(t, addr)
+	st, err := Send(context.Background(), conn, SenderConfig{
+		ExpID: 21, P: 0.5, N: 200, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	reply, err := Query(conn, 21, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Found {
+		t.Fatal("session not found via control channel")
+	}
+	if reply.Counts.M+reply.Skipped != st.Experiments {
+		t.Fatalf("counts M=%d + skipped %d ≠ %d experiments",
+			reply.Counts.M, reply.Skipped, st.Experiments)
+	}
+	// Loopback: nothing lost, nothing congested.
+	if reply.Counts.Z != 0 || reply.PacketsLost != 0 {
+		t.Fatalf("loopback reported congestion: %+v", reply)
+	}
+}
+
+func TestControlQueryUnknownSession(t *testing.T) {
+	_, addr := startCollector(t)
+	conn := dial(t, addr)
+	reply, err := Query(conn, 999, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Found {
+		t.Fatal("unknown session reported found")
+	}
+	if _, err := QueryCounts(conn, 999, time.Second); err != ErrSessionNotFound {
+		t.Fatalf("QueryCounts err = %v, want ErrSessionNotFound", err)
+	}
+}
+
+func TestControlQueryTimeout(t *testing.T) {
+	// A socket nobody answers on.
+	silent, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	conn := dial(t, silent.LocalAddr().String())
+	if _, err := Query(conn, 1, 200*time.Millisecond); err == nil {
+		t.Fatal("query against a silent peer did not time out")
+	}
+}
+
+func TestParseQueryRejectsProbes(t *testing.T) {
+	buf := make([]byte, 600)
+	h := Header{P: 0.5, N: 10, SlotWidth: time.Millisecond}
+	h.Marshal(buf)
+	if _, ok := parseQuery(buf); ok {
+		t.Fatal("probe packet parsed as control query")
+	}
+	if _, ok := parseQuery([]byte{1, 2}); ok {
+		t.Fatal("short packet parsed as control query")
+	}
+}
+
+func TestSendAdaptiveLoopback(t *testing.T) {
+	// Lossless loopback: the controller can never converge (no
+	// boundaries), so it must escalate to PMax and stop at MaxRounds.
+	col, addr := startCollector(t)
+	col.SetMarker(badabing.MarkerConfig{})
+	conn := dial(t, addr)
+	res, err := SendAdaptive(context.Background(), conn, AdaptiveConfig{
+		BaseID: 5000,
+		Slot:   10 * time.Millisecond,
+		Controller: badabing.AdaptiveConfig{
+			RoundSlots: 100, // 1 s rounds
+			MaxRounds:  3,
+			Monitor:    badabing.MonitorConfig{MinExperiments: 10},
+		},
+		DrainWait: 100 * time.Millisecond,
+		Seed:      31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("converged on a lossless path")
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", res.Rounds)
+	}
+	if res.FinalP <= 0.1 {
+		t.Fatalf("p did not escalate: %v", res.FinalP)
+	}
+	if res.Report.Frequency != 0 {
+		t.Fatalf("loopback frequency %v", res.Report.Frequency)
+	}
+}
+
+func TestSendAdaptiveRespectsContext(t *testing.T) {
+	_, addr := startCollector(t)
+	conn := dial(t, addr)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SendAdaptive(ctx, conn, AdaptiveConfig{
+		BaseID:     1,
+		Controller: badabing.AdaptiveConfig{RoundSlots: 100, MaxRounds: 2},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestReportWithCI(t *testing.T) {
+	col, addr := startCollector(t)
+	conn := dial(t, addr)
+	if _, err := Send(context.Background(), conn, SenderConfig{
+		ExpID: 33, P: 0.5, N: 400, Seed: 35,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	rep, freqCI, _, ss, err := col.ReportWithCI(33, badabing.MarkerConfig{},
+		badabing.BootstrapConfig{Resamples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.M == 0 || ss.Packets == 0 {
+		t.Fatal("empty report")
+	}
+	// Loopback: frequency 0 with a degenerate [0,0] interval.
+	if freqCI.Lo != 0 || freqCI.Hi != 0 {
+		t.Fatalf("loopback frequency CI [%v, %v], want [0, 0]", freqCI.Lo, freqCI.Hi)
+	}
+	if _, _, _, _, err := col.ReportWithCI(999, badabing.MarkerConfig{},
+		badabing.BootstrapConfig{}); err != ErrUnknownSession {
+		t.Fatalf("unknown session err = %v", err)
+	}
+}

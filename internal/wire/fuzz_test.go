@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzHeaderUnmarshal ensures arbitrary bytes never panic the decoder and
+// that anything it accepts re-encodes to an equivalent header.
+func FuzzHeaderUnmarshal(f *testing.F) {
+	seedBuf := make([]byte, HeaderSize)
+	good := Header{P: 0.3, N: 1000, SlotWidth: 5 * time.Millisecond, Seed: 1}
+	good.Marshal(seedBuf)
+	f.Add(seedBuf)
+	f.Add([]byte{})
+	f.Add([]byte{0x42, 0x44, 0x42, 0x47})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Header
+		if err := h.Unmarshal(data); err != nil {
+			return
+		}
+		// Accepted: P must be re-marshalable unless out of range.
+		if h.P <= 0 || h.P > 1 {
+			return
+		}
+		buf := make([]byte, HeaderSize)
+		if _, err := h.Marshal(buf); err != nil {
+			t.Fatalf("accepted header failed to re-marshal: %v (%+v)", err, h)
+		}
+		var h2 Header
+		if err := h2.Unmarshal(buf); err != nil {
+			t.Fatalf("re-marshaled header failed to decode: %v", err)
+		}
+		if h2.ExpID != h.ExpID || h2.Slot != h.Slot || h2.Seq != h.Seq {
+			t.Fatalf("round trip diverged: %+v vs %+v", h2, h)
+		}
+	})
+}
+
+// FuzzZingHeaderUnmarshal does the same for the ZING format.
+func FuzzZingHeaderUnmarshal(f *testing.F) {
+	seedBuf := make([]byte, ZingHeaderSize)
+	good := ZingHeader{ExpID: 1, Seq: 2, SendTime: 3}
+	good.Marshal(seedBuf)
+	f.Add(seedBuf)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h ZingHeader
+		if err := h.Unmarshal(data); err != nil {
+			return
+		}
+		buf := make([]byte, ZingHeaderSize)
+		if _, err := h.Marshal(buf); err != nil {
+			t.Fatalf("accepted header failed to re-marshal: %v", err)
+		}
+		var h2 ZingHeader
+		if err := h2.Unmarshal(buf); err != nil || h2 != h {
+			t.Fatalf("round trip diverged: %+v vs %+v (%v)", h2, h, err)
+		}
+	})
+}

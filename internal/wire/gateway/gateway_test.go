@@ -1,0 +1,174 @@
+package gateway
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"badabing/internal/badabing"
+	"badabing/internal/wire"
+)
+
+func TestGatewayForwardsCleanly(t *testing.T) {
+	sink, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	g, err := New(Config{
+		Listen: "127.0.0.1:0",
+		Target: sink.LocalAddr().String(),
+		Delay:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	conn, err := net.Dial("udp", g.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	msg := []byte("hello through the gateway")
+	start := time.Now()
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1500)
+	sink.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _, err := sink.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != string(msg) {
+		t.Fatalf("payload corrupted: %q", buf[:n])
+	}
+	if lat := time.Since(start); lat < 5*time.Millisecond {
+		t.Errorf("latency %v below configured 5ms delay", lat)
+	}
+	fwd, drop, _ := g.Stats()
+	if fwd != 1 || drop != 0 {
+		t.Fatalf("stats fwd=%d drop=%d, want 1/0", fwd, drop)
+	}
+}
+
+func TestGatewayDropsWhenOverloaded(t *testing.T) {
+	sink, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	// 1 Mb/s with a 2-packet queue: a burst of 20 packets must drop
+	// most of its tail.
+	g, err := New(Config{
+		Listen:     "127.0.0.1:0",
+		Target:     sink.LocalAddr().String(),
+		BitsPerSec: 1_000_000,
+		QueueBytes: 2500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	conn, err := net.Dial("udp", g.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pkt := make([]byte, 1200)
+	for i := 0; i < 20; i++ {
+		conn.Write(pkt)
+	}
+	time.Sleep(200 * time.Millisecond)
+	fwd, drop, _ := g.Stats()
+	if drop == 0 {
+		t.Fatalf("no drops under 20x overload (fwd=%d)", fwd)
+	}
+	if fwd == 0 {
+		t.Fatal("everything dropped; queue admits at least the head")
+	}
+}
+
+// TestEndToEndLossEpisodes is the live-socket analogue of the paper's
+// experiment: BADABING sender → impairment gateway with engineered loss
+// episodes → collector. The collector must measure a clearly nonzero loss
+// frequency while a clean control run measures zero.
+func TestEndToEndLossEpisodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time end-to-end test")
+	}
+	colConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := wire.NewCollector(colConn)
+	go col.Run()
+	defer col.Close()
+
+	g, err := New(Config{
+		Listen:          "127.0.0.1:0",
+		Target:          colConn.LocalAddr().String(),
+		BitsPerSec:      10_000_000,
+		Delay:           10 * time.Millisecond,
+		EpisodeEvery:    400 * time.Millisecond,
+		EpisodeDuration: 120 * time.Millisecond,
+		EpisodeOverload: 1.5,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	conn, err := net.Dial("udp", g.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	cfg := wire.SenderConfig{
+		ExpID:    77,
+		P:        0.5,
+		N:        400,
+		Slot:     10 * time.Millisecond, // 4 s; coarse enough for OS timers
+		Improved: true,
+		Seed:     9,
+	}
+	st, err := wire.Send(context.Background(), conn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+
+	_, _, episodes := g.Stats()
+	if episodes == 0 {
+		t.Fatal("gateway generated no episodes")
+	}
+	rep, ss, err := col.Report(77, badabing.RecommendedMarker(cfg.P, cfg.Slot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.PacketsLost == 0 {
+		t.Fatal("no probe packets lost across episodes")
+	}
+	if rep.Frequency <= 0 {
+		t.Fatalf("estimated frequency %v, want > 0 (lost %d of %d packets)",
+			rep.Frequency, ss.PacketsLost, st.Packets)
+	}
+	// Episodes cover ~120/520 ≈ 23% of time; the estimate should be
+	// the right order of magnitude.
+	if rep.Frequency < 0.02 || rep.Frequency > 0.8 {
+		t.Errorf("estimated frequency %.3f wildly off expected ≈0.2", rep.Frequency)
+	}
+	if !rep.HasDuration {
+		t.Error("no duration estimate despite repeated episodes")
+	} else if rep.Duration < 0.02 || rep.Duration > 0.6 {
+		t.Errorf("estimated duration %.3fs, want ≈0.12s order", rep.Duration)
+	}
+}

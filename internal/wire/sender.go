@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"badabing/internal/badabing"
+)
+
+// SenderConfig parameterizes a measurement session.
+type SenderConfig struct {
+	// ExpID identifies the session; pick something unique per run.
+	ExpID uint64
+	// P is the per-slot experiment probability.
+	P float64
+	// N is the number of slots. The session lasts N × Slot.
+	N int64
+	// Slot width; default badabing.DefaultSlot. Real hosts cannot pace
+	// much below a millisecond reliably with timers (§7's point about
+	// commodity workstations and small discretizations).
+	Slot time.Duration
+	// Improved selects the improved (triple-probe) design.
+	Improved bool
+	// Seed determines the schedule; the collector re-derives it.
+	Seed int64
+	// PacketsPerProbe: default 3.
+	PacketsPerProbe int
+	// PacketSize: default 600, minimum HeaderSize.
+	PacketSize int
+}
+
+func (c *SenderConfig) applyDefaults() error {
+	if c.Slot == 0 {
+		c.Slot = badabing.DefaultSlot
+	}
+	if c.PacketsPerProbe == 0 {
+		c.PacketsPerProbe = 3
+	}
+	if c.PacketSize == 0 {
+		c.PacketSize = 600
+	}
+	if c.PacketSize < MinPacketSize {
+		return fmt.Errorf("wire: packet size %d below header size %d", c.PacketSize, MinPacketSize)
+	}
+	if c.P <= 0 || c.P > 1 {
+		return fmt.Errorf("wire: probability %v out of (0,1]", c.P)
+	}
+	if c.N <= 0 {
+		return fmt.Errorf("wire: slot count %d must be positive", c.N)
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	return nil
+}
+
+// SendStats summarizes a completed send.
+type SendStats struct {
+	Experiments int
+	Probes      int
+	Packets     int
+	// MaxLag is the worst observed pacing lag behind the schedule; if
+	// it approaches the slot width, the host cannot sustain this
+	// discretization (§7).
+	MaxLag time.Duration
+}
+
+// Send runs a full measurement session over conn (a connected UDP socket),
+// pacing probes onto their slot deadlines. It blocks until the session
+// completes or ctx is cancelled.
+func Send(ctx context.Context, conn net.Conn, cfg SenderConfig) (SendStats, error) {
+	var st SendStats
+	if err := cfg.applyDefaults(); err != nil {
+		return st, err
+	}
+	plans := badabing.Schedule(badabing.ScheduleConfig{
+		P: cfg.P, N: cfg.N, Improved: cfg.Improved, Seed: cfg.Seed,
+	})
+	st.Experiments = len(plans)
+
+	// Deduplicate overlapping experiments' slots, preserving order.
+	seen := make(map[int64]bool)
+	var slots []int64
+	for _, pl := range plans {
+		for j := 0; j < pl.Probes; j++ {
+			s := pl.Slot + int64(j)
+			if !seen[s] {
+				seen[s] = true
+				slots = append(slots, s)
+			}
+		}
+	}
+	st.Probes = len(slots)
+
+	start := time.Now()
+	buf := make([]byte, cfg.PacketSize)
+	var seq uint64
+	h := Header{
+		ExpID:        cfg.ExpID,
+		PktsPerProbe: uint8(cfg.PacketsPerProbe),
+		Improved:     cfg.Improved,
+		P:            cfg.P,
+		N:            cfg.N,
+		SlotWidth:    cfg.Slot,
+		Seed:         cfg.Seed,
+		Start:        start.UnixNano(),
+	}
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+
+	// Pace with a coarse timer, then busy-wait the final stretch: OS
+	// timers routinely overshoot by a millisecond or more, which is
+	// material at millisecond slot widths.
+	const spin = 2 * time.Millisecond
+	for _, slot := range slots {
+		deadline := start.Add(time.Duration(slot) * cfg.Slot)
+		if wait := time.Until(deadline) - spin; wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				return st, ctx.Err()
+			case <-timer.C:
+			}
+		}
+		for time.Until(deadline) > 0 {
+			if err := ctx.Err(); err != nil {
+				return st, err
+			}
+		}
+		if lag := time.Since(deadline); lag > st.MaxLag {
+			st.MaxLag = lag
+		}
+		h.Slot = slot
+		for i := 0; i < cfg.PacketsPerProbe; i++ {
+			h.PktIdx = uint8(i)
+			h.SendTime = time.Now().UnixNano()
+			h.Seq = seq
+			seq++
+			if _, err := h.Marshal(buf); err != nil {
+				return st, err
+			}
+			if _, err := conn.Write(buf); err != nil {
+				return st, fmt.Errorf("wire: send slot %d: %w", slot, err)
+			}
+			st.Packets++
+		}
+	}
+	return st, nil
+}
