@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/wire/... .
+	$(GO) test -race ./internal/runner/... ./internal/wire/... .
 
 # Shortened-horizon benchmarks: one per paper table/figure plus ablations.
 bench:
@@ -29,6 +29,8 @@ bench-full:
 
 fuzz:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzHeaderUnmarshal -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzControlQuery -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzControlReply -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzZingHeaderUnmarshal -fuzztime 30s
 
 # Reproduce every paper table and figure at full scale (≈25 minutes).

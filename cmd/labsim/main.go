@@ -6,20 +6,30 @@
 // Usage:
 //
 //	labsim -experiment table1 [-horizon 900s] [-seed 1]
-//	labsim -experiment all
+//	labsim -experiment all [-workers 8] [-timeout 10m] [-progress]
 //
 // Experiment ids: table1 table2 table3 table4 table5 table6 table7 table8
 // fig4 fig5 fig6 fig7 fig8 fig9a fig9b, or "all".
+//
+// Every experiment fans its cells (one scenario × parameter × seed
+// combination each) out on a shared parallel experiment engine bounded by
+// -workers; results are bit-identical for any worker count, so -workers
+// only changes wall-clock time, never the numbers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"badabing/internal/lab"
+	"badabing/internal/runner"
 )
 
 var experiments = []struct {
@@ -59,14 +69,44 @@ func main() {
 	exp := flag.String("experiment", "", "experiment id (table1..table8, fig4..fig9b, multihop, red, adaptivestudy, ablation-*, seeds, all)")
 	horizon := flag.Duration("horizon", 900*time.Second, "measurement duration per run")
 	seed := flag.Int64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 0, "concurrent experiment cells (0 = one per CPU); results are identical for any value")
+	timeout := flag.Duration("timeout", 0, "per-cell timeout (0 = none); a timed-out cell is reported and skipped")
+	progress := flag.Bool("progress", false, "print each cell completion (key, worker, elapsed) to stderr")
 	flag.Parse()
 	if *exp == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := lab.RunConfig{Horizon: *horizon, Seed: *seed}
-	ran := false
-	for _, e := range experiments {
+
+	// Ctrl-C / SIGTERM stops scheduling new cells and lets the sweep
+	// drain; cells not yet started are skipped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var onResult func(runner.Result)
+	if *progress {
+		var mu sync.Mutex
+		onResult = func(r runner.Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			status := "ok"
+			if r.Err != nil {
+				status = r.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "   cell %-60s worker %d  %9v  %s\n",
+				r.Key, r.Worker, r.Elapsed.Round(time.Millisecond), status)
+		}
+	}
+	pool := runner.New(runner.Config{
+		Workers:  *workers,
+		Timeout:  *timeout,
+		BaseSeed: *seed,
+		OnResult: onResult,
+	})
+	cfg := lab.RunConfig{Horizon: *horizon, Seed: *seed, Pool: pool, Ctx: ctx}
+
+	var selected []int
+	for i, e := range experiments {
 		if *exp == "all" && strings.HasPrefix(e.id, "ablation") {
 			continue // ablations run only when named (or via "ablations")
 		}
@@ -74,14 +114,45 @@ func main() {
 			!(*exp == "ablations" && strings.HasPrefix(e.id, "ablation")) {
 			continue
 		}
-		ran = true
-		start := time.Now()
-		fmt.Printf("== %s (horizon %v, seed %d)\n", e.id, *horizon, *seed)
-		fmt.Println(e.run(cfg))
-		fmt.Printf("   [%v elapsed]\n\n", time.Since(start).Round(time.Millisecond))
+		selected = append(selected, i)
 	}
-	if !ran {
+	if len(selected) == 0 {
 		fmt.Fprintf(os.Stderr, "labsim: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	// Experiments run concurrently: each only assembles results, the
+	// heavy lifting happens in cells on the shared pool, so -workers
+	// bounds total parallelism. Output streams in experiment order.
+	type outcome struct {
+		text    string
+		elapsed time.Duration
+	}
+	start := time.Now()
+	done := make([]chan outcome, len(selected))
+	for i, idx := range selected {
+		e := experiments[idx]
+		done[i] = make(chan outcome, 1)
+		go func(ch chan<- outcome) {
+			t0 := time.Now()
+			ch <- outcome{e.run(cfg).String(), time.Since(t0)}
+		}(done[i])
+	}
+	for i, idx := range selected {
+		o := <-done[i]
+		fmt.Printf("== %s (horizon %v, seed %d)\n", experiments[idx].id, *horizon, *seed)
+		fmt.Println(o.text)
+		fmt.Printf("   [%v elapsed]\n\n", o.elapsed.Round(time.Millisecond))
+	}
+
+	if st := pool.Stats(); st.Cells > 0 {
+		wall := time.Since(start)
+		fmt.Printf("== engine: %d cells (%d failed) on %d workers, %v wall, %v work (%.2fx speedup)\n",
+			st.Cells, st.Failed, pool.Workers(), wall.Round(time.Millisecond),
+			st.Work.Round(time.Millisecond), float64(st.Work)/float64(wall))
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "labsim: interrupted; remaining cells skipped")
+		os.Exit(130)
 	}
 }

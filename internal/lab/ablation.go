@@ -92,15 +92,29 @@ func AblationPlacement(cfg RunConfig) AblationResult {
 	n := int64(cfg.Horizon / slot)
 	marker := badabing.RecommendedMarker(p, slot)
 
-	bern := runWithPlans(cfg, badabing.Schedule(badabing.ScheduleConfig{
-		P: p, N: n, Seed: cfg.Seed + 100,
-	}), marker, slot, 3)
-	bern.Variant = "per-slot Bernoulli (BADABING)"
-	pois := runWithPlans(cfg, poissonPairPlans(p, n, cfg.Seed+100), marker, slot, 3)
-	pois.Variant = "Poisson-placed pairs"
+	rows := runCells(cfg, []cell[AblationRow]{
+		{
+			key: fmt.Sprintf("ablation/placement/bernoulli/seed=%d/h=%v", cfg.Seed, cfg.Horizon),
+			run: func() AblationRow {
+				r := runWithPlans(cfg, badabing.Schedule(badabing.ScheduleConfig{
+					P: p, N: n, Seed: cfg.Seed + 100,
+				}), marker, slot, 3)
+				r.Variant = "per-slot Bernoulli (BADABING)"
+				return r
+			},
+		},
+		{
+			key: fmt.Sprintf("ablation/placement/poisson/seed=%d/h=%v", cfg.Seed, cfg.Horizon),
+			run: func() AblationRow {
+				r := runWithPlans(cfg, poissonPairPlans(p, n, cfg.Seed+100), marker, slot, 3)
+				r.Variant = "Poisson-placed pairs"
+				return r
+			},
+		},
+	})
 	return AblationResult{
 		Title: "Ablation: probe placement at equal budget (CBR, p=0.3)",
-		Rows:  []AblationRow{bern, pois},
+		Rows:  rows,
 	}
 }
 
@@ -111,16 +125,33 @@ func AblationMarking(cfg RunConfig) AblationResult {
 	cfg.applyDefaults()
 	const p = 0.2
 	slot := badabing.DefaultSlot
-	plans := badabing.Schedule(badabing.ScheduleConfig{
-		P: p, N: int64(cfg.Horizon / slot), Seed: cfg.Seed + 100,
-	})
-	withDelay := runWithPlans(cfg, plans, badabing.RecommendedMarker(p, slot), slot, 3)
-	withDelay.Variant = "loss + one-way-delay marking"
-	lossOnly := runWithPlans(cfg, plans, badabing.MarkerConfig{Alpha: 0, Tau: 0}, slot, 3)
-	lossOnly.Variant = "loss-only marking"
+	variants := []struct {
+		name   string
+		marker badabing.MarkerConfig
+		label  string
+	}{
+		{"delay", badabing.RecommendedMarker(p, slot), "loss + one-way-delay marking"},
+		{"loss-only", badabing.MarkerConfig{Alpha: 0, Tau: 0}, "loss-only marking"},
+	}
+	cells := make([]cell[AblationRow], len(variants))
+	for i, v := range variants {
+		cells[i] = cell[AblationRow]{
+			key: fmt.Sprintf("ablation/marking/%s/seed=%d/h=%v", v.name, cfg.Seed, cfg.Horizon),
+			run: func() AblationRow {
+				// Both variants mark the same schedule; each cell
+				// rebuilds it so the cells stay self-contained.
+				plans := badabing.Schedule(badabing.ScheduleConfig{
+					P: p, N: int64(cfg.Horizon / slot), Seed: cfg.Seed + 100,
+				})
+				r := runWithPlans(cfg, plans, v.marker, slot, 3)
+				r.Variant = v.label
+				return r
+			},
+		}
+	}
 	return AblationResult{
 		Title: "Ablation: congestion marking (CBR, p=0.2)",
-		Rows:  []AblationRow{withDelay, lossOnly},
+		Rows:  runCells(cfg, cells),
 	}
 }
 
@@ -130,29 +161,36 @@ func AblationEstimator(cfg RunConfig) AblationResult {
 	cfg.applyDefaults()
 	const p = 0.5
 	slot := badabing.DefaultSlot
-	path := NewPath(CBRUniform, cfg)
-	plans := badabing.Schedule(badabing.ScheduleConfig{
-		P: p, N: int64(cfg.Horizon / slot), Improved: true, Seed: cfg.Seed + 100,
-	})
-	bb := probe.StartBadabing(path.Sim, path.D, probeFlowID, probe.BadabingConfig{
-		Plans:  plans,
-		Marker: badabing.RecommendedMarker(p, slot),
-	})
-	path.Run(cfg.Horizon)
-	truth := path.Mon.Truth(cfg.Horizon, slot)
-	rep := bb.Report()
-	res := AblationResult{Title: "Ablation: basic vs improved duration estimator (CBR, p=0.5)"}
-	res.Rows = append(res.Rows, AblationRow{
-		Variant: "basic  D̂ = 2(R/S−1)+1",
-		TrueF:   truth.Frequency, EstF: rep.Frequency,
-		TrueD: truth.Duration.Mean(), EstD: rep.DurationBasic,
-	})
-	res.Rows = append(res.Rows, AblationRow{
-		Variant: "improved  D̂ = (2V/U)(R/S−1)+1",
-		TrueF:   truth.Frequency, EstF: rep.Frequency,
-		TrueD: truth.Duration.Mean(), EstD: rep.DurationImproved,
-	})
-	return res
+	// One run feeds both estimator rows; it is a single cell.
+	rows := runCells(cfg, []cell[[]AblationRow]{{
+		key: fmt.Sprintf("ablation/estimator/seed=%d/h=%v", cfg.Seed, cfg.Horizon),
+		run: func() []AblationRow {
+			path := NewPath(CBRUniform, cfg)
+			plans := badabing.Schedule(badabing.ScheduleConfig{
+				P: p, N: int64(cfg.Horizon / slot), Improved: true, Seed: cfg.Seed + 100,
+			})
+			bb := probe.StartBadabing(path.Sim, path.D, probeFlowID, probe.BadabingConfig{
+				Plans:  plans,
+				Marker: badabing.RecommendedMarker(p, slot),
+			})
+			path.Run(cfg.Horizon)
+			truth := path.Mon.Truth(cfg.Horizon, slot)
+			rep := bb.Report()
+			return []AblationRow{{
+				Variant: "basic  D̂ = 2(R/S−1)+1",
+				TrueF:   truth.Frequency, EstF: rep.Frequency,
+				TrueD: truth.Duration.Mean(), EstD: rep.DurationBasic,
+			}, {
+				Variant: "improved  D̂ = (2V/U)(R/S−1)+1",
+				TrueF:   truth.Frequency, EstF: rep.Frequency,
+				TrueD: truth.Duration.Mean(), EstD: rep.DurationImproved,
+			}}
+		},
+	}})
+	return AblationResult{
+		Title: "Ablation: basic vs improved duration estimator (CBR, p=0.5)",
+		Rows:  rows[0],
+	}
 }
 
 // AblationSlot sweeps the discretization width against fixed 68 ms
@@ -161,15 +199,22 @@ func AblationEstimator(cfg RunConfig) AblationResult {
 func AblationSlot(cfg RunConfig) AblationResult {
 	cfg.applyDefaults()
 	res := AblationResult{Title: "Ablation: slot width vs 68ms episodes (CBR, p=0.3)"}
+	var cells []cell[AblationRow]
 	for _, slot := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
-		const p = 0.3
-		plans := badabing.Schedule(badabing.ScheduleConfig{
-			P: p, N: int64(cfg.Horizon / slot), Seed: cfg.Seed + 100,
+		cells = append(cells, cell[AblationRow]{
+			key: fmt.Sprintf("ablation/slot=%v/seed=%d/h=%v", slot, cfg.Seed, cfg.Horizon),
+			run: func() AblationRow {
+				const p = 0.3
+				plans := badabing.Schedule(badabing.ScheduleConfig{
+					P: p, N: int64(cfg.Horizon / slot), Seed: cfg.Seed + 100,
+				})
+				row := runWithPlans(cfg, plans, badabing.RecommendedMarker(p, slot), slot, 3)
+				row.Variant = fmt.Sprintf("slot = %v", slot)
+				return row
+			},
 		})
-		row := runWithPlans(cfg, plans, badabing.RecommendedMarker(p, slot), slot, 3)
-		row.Variant = fmt.Sprintf("slot = %v", slot)
-		res.Rows = append(res.Rows, row)
 	}
+	res.Rows = runCells(cfg, cells)
 	return res
 }
 
@@ -180,15 +225,22 @@ func AblationProbeSize(cfg RunConfig) AblationResult {
 	cfg.applyDefaults()
 	const p = 0.3
 	slot := badabing.DefaultSlot
-	plans := badabing.Schedule(badabing.ScheduleConfig{
-		P: p, N: int64(cfg.Horizon / slot), Seed: cfg.Seed + 100,
-	})
 	res := AblationResult{Title: "Ablation: packets per probe (CBR, p=0.3)"}
+	var cells []cell[AblationRow]
 	for _, bunch := range []int{1, 3} {
-		row := runWithPlans(cfg, plans, badabing.RecommendedMarker(p, slot), slot, bunch)
-		row.Variant = fmt.Sprintf("%d packet(s) per probe", bunch)
-		res.Rows = append(res.Rows, row)
+		cells = append(cells, cell[AblationRow]{
+			key: fmt.Sprintf("ablation/probesize=%d/seed=%d/h=%v", bunch, cfg.Seed, cfg.Horizon),
+			run: func() AblationRow {
+				plans := badabing.Schedule(badabing.ScheduleConfig{
+					P: p, N: int64(cfg.Horizon / slot), Seed: cfg.Seed + 100,
+				})
+				row := runWithPlans(cfg, plans, badabing.RecommendedMarker(p, slot), slot, bunch)
+				row.Variant = fmt.Sprintf("%d packet(s) per probe", bunch)
+				return row
+			},
+		})
 	}
+	res.Rows = runCells(cfg, cells)
 	return res
 }
 
@@ -201,29 +253,36 @@ func AblationExtendedPairs(cfg RunConfig) AblationResult {
 	const p = 0.3
 	slot := badabing.DefaultSlot
 	res := AblationResult{Title: "Ablation: §5.5 extended-pair reuse (CBR, p=0.3, improved design)"}
+	var cells []cell[AblationRow]
 	for _, pairs := range []bool{false, true} {
-		path := NewPath(CBRUniform, cfg)
-		plans := badabing.Schedule(badabing.ScheduleConfig{
-			P: p, N: int64(cfg.Horizon / slot), Improved: true, Seed: cfg.Seed + 100,
+		cells = append(cells, cell[AblationRow]{
+			key: fmt.Sprintf("ablation/pairs=%v/seed=%d/h=%v", pairs, cfg.Seed, cfg.Horizon),
+			run: func() AblationRow {
+				path := NewPath(CBRUniform, cfg)
+				plans := badabing.Schedule(badabing.ScheduleConfig{
+					P: p, N: int64(cfg.Horizon / slot), Improved: true, Seed: cfg.Seed + 100,
+				})
+				bb := probe.StartBadabing(path.Sim, path.D, probeFlowID, probe.BadabingConfig{
+					Plans:         plans,
+					Marker:        badabing.RecommendedMarker(p, slot),
+					ExtendedPairs: pairs,
+				})
+				path.Run(cfg.Horizon)
+				truth := path.Mon.Truth(cfg.Horizon, slot)
+				rep := bb.Report()
+				row := AblationRow{
+					Variant: "pairs off",
+					TrueF:   truth.Frequency, EstF: rep.Frequency,
+					TrueD: truth.Duration.Mean(), EstD: rep.Duration,
+				}
+				if pairs {
+					row.Variant = "pairs on (§5.5)"
+				}
+				return row
+			},
 		})
-		bb := probe.StartBadabing(path.Sim, path.D, probeFlowID, probe.BadabingConfig{
-			Plans:         plans,
-			Marker:        badabing.RecommendedMarker(p, slot),
-			ExtendedPairs: pairs,
-		})
-		path.Run(cfg.Horizon)
-		truth := path.Mon.Truth(cfg.Horizon, slot)
-		rep := bb.Report()
-		row := AblationRow{
-			Variant: "pairs off",
-			TrueF:   truth.Frequency, EstF: rep.Frequency,
-			TrueD: truth.Duration.Mean(), EstD: rep.Duration,
-		}
-		if pairs {
-			row.Variant = "pairs on (§5.5)"
-		}
-		res.Rows = append(res.Rows, row)
 	}
+	res.Rows = runCells(cfg, cells)
 	return res
 }
 

@@ -68,13 +68,16 @@ func AdaptiveStudy(cfg RunConfig) AdaptiveStudyResult {
 		{"lossy (episodes ≈4s)", 4 * time.Second},
 		{"quiet (episodes ≈45s)", 45 * time.Second},
 	}
-	var out AdaptiveStudyResult
+	var cells []cell[AdaptiveStudyRow]
 	for _, path := range paths {
 		for _, strat := range []string{"fixed p=0.9", "fixed p=0.1", "adaptive"} {
-			out.Rows = append(out.Rows, runAdaptiveStrategy(path, strat, cfg))
+			cells = append(cells, cell[AdaptiveStudyRow]{
+				key: fmt.Sprintf("adaptivestudy/%s/%s/seed=%d/h=%v", path.name, strat, cfg.Seed, cfg.Horizon),
+				run: func() AdaptiveStudyRow { return runAdaptiveStrategy(path, strat, cfg) },
+			})
 		}
 	}
-	return out
+	return AdaptiveStudyResult{Rows: runCells(cfg, cells)}
 }
 
 // monCriteria is the convergence bar shared by all strategies.

@@ -1,0 +1,59 @@
+package lab
+
+import (
+	"context"
+
+	"badabing/internal/runner"
+)
+
+// defaultPool serves experiments whose RunConfig carries no pool: one
+// worker per CPU, shared by the whole process so concurrently running
+// experiments cannot oversubscribe the machine.
+var defaultPool = runner.New(runner.Config{})
+
+// pool returns the engine an experiment's cells are submitted to.
+func (c RunConfig) pool() *runner.Pool {
+	if c.Pool != nil {
+		return c.Pool
+	}
+	return defaultPool
+}
+
+// context returns the cancellation context for the run.
+func (c RunConfig) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// cell couples a stable descriptor with the closure computing one
+// experiment cell. Cells must be independent: each builds its own Path
+// (own Sim, own RNG streams), so a sweep's cells can run on any worker in
+// any order and still produce identical results.
+type cell[T any] struct {
+	key string
+	run func() T
+}
+
+// runCells fans the cells out on the config's pool and returns their
+// values in submission order, regardless of completion order — the
+// determinism contract every table and figure relies on. Cells skipped by
+// cancellation or killed by the per-cell timeout yield zero values.
+func runCells[T any](cfg RunConfig, cells []cell[T]) []T {
+	rcells := make([]runner.Cell, len(cells))
+	for i, c := range cells {
+		run := c.run
+		rcells[i] = runner.Cell{Key: c.key, Run: func(context.Context, int64) (any, error) {
+			return run(), nil
+		}}
+	}
+	results, _, _ := cfg.pool().Run(cfg.context(), rcells)
+	out := make([]T, len(cells))
+	for i, r := range results {
+		if r.Err == nil {
+			out[i] = r.Value.(T)
+		}
+	}
+	return out
+}

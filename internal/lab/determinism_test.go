@@ -1,0 +1,95 @@
+package lab
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"badabing/internal/runner"
+)
+
+// These tests are the regression gate for all parallelism work: the same
+// sweep run serially (workers=1) and heavily parallel (workers=8) must
+// produce byte-identical frequency and duration estimates per cell. A
+// failure means a cell shares state — an RNG stream, a simulator, an
+// accumulation order — across goroutines.
+
+// bitsEqual compares floats by bit pattern: determinism means identical
+// bits, not "close enough".
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func withWorkers(cfg RunConfig, workers int) RunConfig {
+	cfg.Pool = runner.New(runner.Config{Workers: workers})
+	return cfg
+}
+
+func TestSweepInvariantAcrossWorkerCounts(t *testing.T) {
+	base := RunConfig{Horizon: 60 * time.Second, Seed: 3}
+	serial := Table4(withWorkers(base, 1))
+	parallel := Table4(withWorkers(base, 8))
+	if len(serial.Rows) != len(parallel.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial.Rows), len(parallel.Rows))
+	}
+	for i := range serial.Rows {
+		a, b := serial.Rows[i], parallel.Rows[i]
+		if !bitsEqual(a.P, b.P) || !bitsEqual(a.TrueF, b.TrueF) || !bitsEqual(a.EstF, b.EstF) ||
+			!bitsEqual(a.TrueD, b.TrueD) || !bitsEqual(a.EstD, b.EstD) {
+			t.Errorf("p=%.1f: workers=1 %+v != workers=8 %+v", a.P, a, b)
+		}
+	}
+	if serial.String() != parallel.String() {
+		t.Error("rendered tables differ between worker counts")
+	}
+}
+
+func TestZingTableInvariantAcrossWorkerCounts(t *testing.T) {
+	base := RunConfig{Horizon: 60 * time.Second, Seed: 5}
+	serial := Table2(withWorkers(base, 1))
+	parallel := Table2(withWorkers(base, 8))
+	if serial.String() != parallel.String() {
+		t.Fatalf("rendered tables differ:\n-- workers=1\n%s\n-- workers=8\n%s", serial, parallel)
+	}
+	for i := range serial.Rows {
+		a, b := serial.Rows[i], parallel.Rows[i]
+		if !bitsEqual(a.Frequency, b.Frequency) || !bitsEqual(a.DurMean, b.DurMean) ||
+			!bitsEqual(a.DurSD, b.DurSD) {
+			t.Errorf("row %d (%s): estimates differ across worker counts", i, a.Name)
+		}
+	}
+}
+
+func TestSeedStudyInvariantAcrossWorkerCounts(t *testing.T) {
+	base := RunConfig{Horizon: 45 * time.Second}
+	seeds := []int64{1, 2, 3, 4}
+	serial := SeedStudy(CBRUniform, 0.5, seeds, withWorkers(base, 1))
+	parallel := SeedStudy(CBRUniform, 0.5, seeds, withWorkers(base, 8))
+	pairs := []struct {
+		name string
+		a, b float64
+	}{
+		{"true F mean", serial.TrueF.Mean(), parallel.TrueF.Mean()},
+		{"est F mean", serial.EstF.Mean(), parallel.EstF.Mean()},
+		{"true D mean", serial.TrueD.Mean(), parallel.TrueD.Mean()},
+		{"est D mean", serial.EstD.Mean(), parallel.EstD.Mean()},
+		{"est F sd", serial.EstF.StdDev(), parallel.EstF.StdDev()},
+	}
+	for _, p := range pairs {
+		if !bitsEqual(p.a, p.b) {
+			t.Errorf("%s: %v (workers=1) != %v (workers=8)", p.name, p.a, p.b)
+		}
+	}
+}
+
+// TestRepeatedRunsIdentical guards the weaker but necessary property that
+// the same config run twice on the same pool reproduces itself (no state
+// leaks between cells through the pool or package globals).
+func TestRepeatedRunsIdentical(t *testing.T) {
+	cfg := withWorkers(RunConfig{Horizon: 45 * time.Second, Seed: 9}, 4)
+	first := Table4(cfg)
+	second := Table4(cfg)
+	if first.String() != second.String() {
+		t.Errorf("same config diverged across runs:\n%s\nvs\n%s", first, second)
+	}
+}

@@ -57,7 +57,8 @@ func (q QueueSeries) String() string {
 }
 
 // queueFigure runs a scenario with queue sampling and extracts the
-// [from,to) window of the series.
+// [from,to) window of the series. The single run is still routed through
+// the experiment engine so it honors the pool's timeout and cancellation.
 func queueFigure(title string, sc Scenario, cfg RunConfig, from, to time.Duration) QueueSeries {
 	cfg.applyDefaults()
 	if cfg.SampleHorizon == 0 {
@@ -66,6 +67,14 @@ func queueFigure(title string, sc Scenario, cfg RunConfig, from, to time.Duratio
 	if cfg.Horizon < to {
 		cfg.Horizon = to
 	}
+	out := runCells(cfg, []cell[QueueSeries]{{
+		key: fmt.Sprintf("queuefig/%v/%v-%v/seed=%d", sc, from, to, cfg.Seed),
+		run: func() QueueSeries { return queueWindow(title, sc, cfg, from, to) },
+	}})
+	return out[0]
+}
+
+func queueWindow(title string, sc Scenario, cfg RunConfig, from, to time.Duration) QueueSeries {
 	p := NewPath(sc, cfg)
 	p.Run(cfg.Horizon)
 	out := QueueSeries{
@@ -169,15 +178,26 @@ func probeMissRate(sc Scenario, cfg RunConfig, bunch int) float64 {
 }
 
 // Figure7 reproduces Figure 7 for bunch lengths 1..10 on the infinite TCP
-// and CBR scenarios.
+// and CBR scenarios: 20 independent cells on the experiment engine.
 func Figure7(cfg RunConfig) Fig7Result {
 	cfg.applyDefaults()
+	var cells []cell[float64]
+	for bunch := 1; bunch <= 10; bunch++ {
+		for _, sc := range []Scenario{InfiniteTCP, CBRUniform} {
+			bunch, sc := bunch, sc
+			cells = append(cells, cell[float64]{
+				key: fmt.Sprintf("fig7/%v/bunch=%d/seed=%d/h=%v", sc, bunch, cfg.Seed, cfg.Horizon),
+				run: func() float64 { return probeMissRate(sc, cfg, bunch) },
+			})
+		}
+	}
+	rates := runCells(cfg, cells)
 	var out Fig7Result
 	for bunch := 1; bunch <= 10; bunch++ {
 		out.Points = append(out.Points, Fig7Point{
 			Bunch:  bunch,
-			PNoTCP: probeMissRate(InfiniteTCP, cfg, bunch),
-			PNoCBR: probeMissRate(CBRUniform, cfg, bunch),
+			PNoTCP: rates[(bunch-1)*2],
+			PNoCBR: rates[(bunch-1)*2+1],
 		})
 	}
 	return out
@@ -215,56 +235,65 @@ func (f Fig8Result) String() string {
 // probes, 3-packet probes, and 10-packet probes at 10 ms intervals.
 func Figure8(cfg RunConfig) Fig8Result {
 	cfg.applyDefaults()
-	var out Fig8Result
+	var cells []cell[Fig8Series]
 	for _, bunch := range []int{0, 3, 10} {
-		runCfg := cfg
-		runCfg.SampleHorizon = cfg.Horizon
-		path := NewPath(InfiniteTCP, runCfg)
-		var fx *probe.Fixed
-		if bunch > 0 {
-			fx = probe.StartFixed(path.Sim, path.D, probeFlowID, probe.FixedConfig{
-				Interval:        10 * time.Millisecond,
-				PacketsPerProbe: bunch,
-				Horizon:         cfg.Horizon,
-			})
-		}
-		path.Run(cfg.Horizon)
-		eps := path.Mon.Episodes()
-		// Window: 200 ms around the first episode after warmup.
-		from, to := 10*time.Second, 11*time.Second
-		for _, e := range eps {
-			if e.Start > 10*time.Second {
-				from = e.Start - 50*time.Millisecond
-				to = e.End + 150*time.Millisecond
-				break
-			}
-		}
-		qs := QueueSeries{
-			Title:    fmt.Sprintf("queue around episode (bunch=%d)", bunch),
-			From:     from,
-			To:       to,
-			QueueCap: path.D.Bottleneck.Rate().TxTime(path.D.Bottleneck.QueueCap()),
-		}
-		for _, s := range path.Mon.Samples() {
-			if s.T >= from && s.T < to {
-				qs.Samples = append(qs.Samples, s)
-			}
-		}
-		for _, e := range eps {
-			if e.End >= from && e.Start < to {
-				qs.Episodes = append(qs.Episodes, e)
-			}
-		}
-		v := Fig8Series{Bunch: bunch, Series: qs}
-		if fx != nil {
-			for _, o := range fx.Results() {
-				v.ProbePkts += o.Sent
-				v.ProbeLost += o.Lost
-			}
-		}
-		out.Variants = append(out.Variants, v)
+		bunch := bunch
+		cells = append(cells, cell[Fig8Series]{
+			key: fmt.Sprintf("fig8/bunch=%d/seed=%d/h=%v", bunch, cfg.Seed, cfg.Horizon),
+			run: func() Fig8Series { return figure8Variant(cfg, bunch) },
+		})
 	}
-	return out
+	return Fig8Result{Variants: runCells(cfg, cells)}
+}
+
+// figure8Variant runs one probe-train variant of Figure 8.
+func figure8Variant(cfg RunConfig, bunch int) Fig8Series {
+	runCfg := cfg
+	runCfg.SampleHorizon = cfg.Horizon
+	path := NewPath(InfiniteTCP, runCfg)
+	var fx *probe.Fixed
+	if bunch > 0 {
+		fx = probe.StartFixed(path.Sim, path.D, probeFlowID, probe.FixedConfig{
+			Interval:        10 * time.Millisecond,
+			PacketsPerProbe: bunch,
+			Horizon:         cfg.Horizon,
+		})
+	}
+	path.Run(cfg.Horizon)
+	eps := path.Mon.Episodes()
+	// Window: 200 ms around the first episode after warmup.
+	from, to := 10*time.Second, 11*time.Second
+	for _, e := range eps {
+		if e.Start > 10*time.Second {
+			from = e.Start - 50*time.Millisecond
+			to = e.End + 150*time.Millisecond
+			break
+		}
+	}
+	qs := QueueSeries{
+		Title:    fmt.Sprintf("queue around episode (bunch=%d)", bunch),
+		From:     from,
+		To:       to,
+		QueueCap: path.D.Bottleneck.Rate().TxTime(path.D.Bottleneck.QueueCap()),
+	}
+	for _, s := range path.Mon.Samples() {
+		if s.T >= from && s.T < to {
+			qs.Samples = append(qs.Samples, s)
+		}
+	}
+	for _, e := range eps {
+		if e.End >= from && e.Start < to {
+			qs.Episodes = append(qs.Episodes, e)
+		}
+	}
+	v := Fig8Series{Bunch: bunch, Series: qs}
+	if fx != nil {
+		for _, o := range fx.Results() {
+			v.ProbePkts += o.Sent
+			v.ProbeLost += o.Lost
+		}
+	}
+	return v
 }
 
 // Fig9Row is one row of a Figure 9 sensitivity sweep: estimated loss
@@ -303,21 +332,27 @@ func (f Fig9Result) String() string {
 	return b.String()
 }
 
-// Figure9a reproduces Figure 9(a): estimated loss frequency over a range
-// of α with τ fixed at 80 ms, CBR traffic.
-func Figure9a(cfg RunConfig) Fig9Result {
-	cfg.applyDefaults()
-	alphas := []float64{0.05, 0.10, 0.20}
-	out := Fig9Result{
-		Title:  "Figure 9(a): frequency sensitivity to alpha (tau = 80ms)",
-		Param:  "alpha",
-		Values: []string{"0.05", "0.10", "0.20"},
+// figure9 fans one sensitivity sweep (every p × marker-variant pair is an
+// independent cell) out on the experiment engine and folds the results
+// back into rows ordered by p.
+func figure9(cfg RunConfig, out Fig9Result, markers []badabing.MarkerConfig) Fig9Result {
+	var cells []cell[SweepRow]
+	for _, p := range DefaultPSweep {
+		for vi, mk := range markers {
+			cells = append(cells, cell[SweepRow]{
+				key: fmt.Sprintf("fig9/%s=%s/p=%.1f/seed=%d/h=%v",
+					out.Param, out.Values[vi], p, cfg.Seed, cfg.Horizon),
+				run: func() SweepRow { return badabingRun(CBRUniform, cfg, p, &mk, false) },
+			})
+		}
 	}
+	rows := runCells(cfg, cells)
+	i := 0
 	for _, p := range DefaultPSweep {
 		row := Fig9Row{P: p}
-		for _, a := range alphas {
-			mk := badabing.MarkerConfig{Alpha: a, Tau: 80 * time.Millisecond}
-			r := badabingRun(CBRUniform, cfg, p, &mk, false)
+		for range markers {
+			r := rows[i]
+			i++
 			row.TrueF = r.TrueF
 			row.EstF = append(row.EstF, r.EstF)
 		}
@@ -326,25 +361,34 @@ func Figure9a(cfg RunConfig) Fig9Result {
 	return out
 }
 
+// Figure9a reproduces Figure 9(a): estimated loss frequency over a range
+// of α with τ fixed at 80 ms, CBR traffic.
+func Figure9a(cfg RunConfig) Fig9Result {
+	cfg.applyDefaults()
+	out := Fig9Result{
+		Title:  "Figure 9(a): frequency sensitivity to alpha (tau = 80ms)",
+		Param:  "alpha",
+		Values: []string{"0.05", "0.10", "0.20"},
+	}
+	var markers []badabing.MarkerConfig
+	for _, a := range []float64{0.05, 0.10, 0.20} {
+		markers = append(markers, badabing.MarkerConfig{Alpha: a, Tau: 80 * time.Millisecond})
+	}
+	return figure9(cfg, out, markers)
+}
+
 // Figure9b reproduces Figure 9(b): estimated loss frequency over a range
 // of τ with α fixed at 0.1, CBR traffic.
 func Figure9b(cfg RunConfig) Fig9Result {
 	cfg.applyDefaults()
-	taus := []time.Duration{20 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond}
 	out := Fig9Result{
 		Title:  "Figure 9(b): frequency sensitivity to tau (alpha = 0.1)",
 		Param:  "tau",
 		Values: []string{"20ms", "40ms", "80ms"},
 	}
-	for _, p := range DefaultPSweep {
-		row := Fig9Row{P: p}
-		for _, tau := range taus {
-			mk := badabing.MarkerConfig{Alpha: 0.1, Tau: tau}
-			r := badabingRun(CBRUniform, cfg, p, &mk, false)
-			row.TrueF = r.TrueF
-			row.EstF = append(row.EstF, r.EstF)
-		}
-		out.Rows = append(out.Rows, row)
+	var markers []badabing.MarkerConfig
+	for _, tau := range []time.Duration{20 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond} {
+		markers = append(markers, badabing.MarkerConfig{Alpha: 0.1, Tau: tau})
 	}
-	return out
+	return figure9(cfg, out, markers)
 }

@@ -6,9 +6,11 @@
 package lab
 
 import (
+	"context"
 	"time"
 
 	"badabing/internal/capture"
+	"badabing/internal/runner"
 	"badabing/internal/simnet"
 	"badabing/internal/traffic"
 )
@@ -55,6 +57,14 @@ type RunConfig struct {
 	// QueueSampling turns on queue-length time-series capture up to
 	// SampleHorizon (used by the figure experiments).
 	SampleHorizon time.Duration
+	// Pool is the parallel experiment engine the run's cells are
+	// submitted to; nil uses a process-wide default with one worker per
+	// CPU. Results are bit-identical for any worker count: every cell
+	// owns its simulator and RNG streams.
+	Pool *runner.Pool
+	// Ctx cancels in-flight experiments (cells not yet started are
+	// skipped); nil means context.Background.
+	Ctx context.Context
 }
 
 func (c *RunConfig) applyDefaults() {

@@ -46,9 +46,19 @@ func (r MultiHopResult) String() string {
 
 // MultiHop runs the extension experiment: hops chained links, each with
 // its own episode injector (episodes offset in character per hop so the
-// union is nontrivial), probed end to end at p = 0.3.
+// union is nontrivial), probed end to end at p = 0.3. The chain is one
+// simulator, so the experiment is a single cell on the engine (it still
+// honors the pool's timeout and cancellation).
 func MultiHop(hops int, cfg RunConfig) MultiHopResult {
 	cfg.applyDefaults()
+	out := runCells(cfg, []cell[MultiHopResult]{{
+		key: fmt.Sprintf("multihop/hops=%d/seed=%d/h=%v", hops, cfg.Seed, cfg.Horizon),
+		run: func() MultiHopResult { return multiHopRun(hops, cfg) },
+	}})
+	return out[0]
+}
+
+func multiHopRun(hops int, cfg RunConfig) MultiHopResult {
 	sim := simnet.New()
 	ch := simnet.NewChain(sim, simnet.ChainConfig{Hops: hops})
 	ids := traffic.NewIDSpace(1000)

@@ -48,46 +48,55 @@ func (r REDResult) String() string {
 	return b.String()
 }
 
-// RED runs the comparison at p = 0.3.
+// RED runs the comparison at p = 0.3; the two queue disciplines are
+// independent cells on the experiment engine.
 func RED(cfg RunConfig) REDResult {
 	cfg.applyDefaults()
-	var out REDResult
+	var cells []cell[REDRow]
 	for _, useRED := range []bool{false, true} {
-		sim := simnet.New()
-		d := simnet.NewDumbbell(sim, simnet.DumbbellConfig{})
-		if useRED {
-			d.Bottleneck.SetAQM(simnet.REDForLink(d.Bottleneck, 0.25, 0.75, 0.1, cfg.Seed))
-		}
-		mon := capture.Attach(sim, d.Bottleneck, capture.Config{})
-		ids := traffic.NewIDSpace(1000)
-		traffic.NewInfiniteTCP(sim, d, ids, 40)
-
-		slot := badabing.DefaultSlot
-		plans := badabing.Schedule(badabing.ScheduleConfig{
-			P: 0.3, N: int64(cfg.Horizon / slot), Improved: true, Seed: cfg.Seed + 99,
+		cells = append(cells, cell[REDRow]{
+			key: fmt.Sprintf("red/aqm=%v/seed=%d/h=%v", useRED, cfg.Seed, cfg.Horizon),
+			run: func() REDRow { return redRun(cfg, useRED) },
 		})
-		bb := probe.StartBadabing(sim, d, probeFlowID, probe.BadabingConfig{
-			Plans:  plans,
-			Marker: badabing.RecommendedMarker(0.3, slot),
-		})
-		sim.Run(cfg.Horizon + 1e9)
-
-		truth := mon.Truth(cfg.Horizon, slot)
-		rep := bb.Report()
-		row := REDRow{
-			Queue:     "drop-tail",
-			TrueF:     truth.Frequency,
-			TrueD:     truth.Duration.Mean(),
-			LossRate:  truth.LossRate,
-			Episodes:  truth.Episodes,
-			EstF:      rep.Frequency,
-			EstD:      rep.Duration,
-			Validated: rep.Validation.Passes(badabing.Criteria{}),
-		}
-		if useRED {
-			row.Queue = "RED"
-		}
-		out.Rows = append(out.Rows, row)
 	}
-	return out
+	return REDResult{Rows: runCells(cfg, cells)}
+}
+
+// redRun measures one queue-discipline variant.
+func redRun(cfg RunConfig, useRED bool) REDRow {
+	sim := simnet.New()
+	d := simnet.NewDumbbell(sim, simnet.DumbbellConfig{})
+	if useRED {
+		d.Bottleneck.SetAQM(simnet.REDForLink(d.Bottleneck, 0.25, 0.75, 0.1, cfg.Seed))
+	}
+	mon := capture.Attach(sim, d.Bottleneck, capture.Config{})
+	ids := traffic.NewIDSpace(1000)
+	traffic.NewInfiniteTCP(sim, d, ids, 40)
+
+	slot := badabing.DefaultSlot
+	plans := badabing.Schedule(badabing.ScheduleConfig{
+		P: 0.3, N: int64(cfg.Horizon / slot), Improved: true, Seed: cfg.Seed + 99,
+	})
+	bb := probe.StartBadabing(sim, d, probeFlowID, probe.BadabingConfig{
+		Plans:  plans,
+		Marker: badabing.RecommendedMarker(0.3, slot),
+	})
+	sim.Run(cfg.Horizon + 1e9)
+
+	truth := mon.Truth(cfg.Horizon, slot)
+	rep := bb.Report()
+	row := REDRow{
+		Queue:     "drop-tail",
+		TrueF:     truth.Frequency,
+		TrueD:     truth.Duration.Mean(),
+		LossRate:  truth.LossRate,
+		Episodes:  truth.Episodes,
+		EstF:      rep.Frequency,
+		EstD:      rep.Duration,
+		Validated: rep.Validation.Passes(badabing.Criteria{}),
+	}
+	if useRED {
+		row.Queue = "RED"
+	}
+	return row
 }

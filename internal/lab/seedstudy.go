@@ -45,14 +45,24 @@ func (r SeedStudyResult) String() string {
 }
 
 // SeedStudy runs the BADABING measurement on sc at probability p once per
-// seed.
+// seed; every seed is an independent cell on the experiment engine, and
+// the per-seed rows are folded into summaries in seed order so the spread
+// statistics are identical at any worker count.
 func SeedStudy(sc Scenario, p float64, seeds []int64, cfg RunConfig) SeedStudyResult {
 	cfg.applyDefaults()
 	res := SeedStudyResult{Scenario: sc, P: p, Seeds: seeds}
-	for _, seed := range seeds {
-		runCfg := cfg
-		runCfg.Seed = seed
-		row := badabingRun(sc, runCfg, p, nil, false)
+	cells := make([]cell[SweepRow], len(seeds))
+	for i, seed := range seeds {
+		cells[i] = cell[SweepRow]{
+			key: fmt.Sprintf("seedstudy/%v/p=%.1f/seed=%d/h=%v", sc, p, seed, cfg.Horizon),
+			run: func() SweepRow {
+				runCfg := cfg
+				runCfg.Seed = seed
+				return badabingRun(sc, runCfg, p, nil, false)
+			},
+		}
+	}
+	for _, row := range runCells(cfg, cells) {
 		res.TrueF.Add(row.TrueF)
 		res.EstF.Add(row.EstF)
 		res.TrueD.Add(row.TrueD)

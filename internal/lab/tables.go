@@ -40,7 +40,7 @@ func (t LossTable) String() string {
 // zingTable runs the three-row ZING experiment (true values, 10 Hz/256 B,
 // 20 Hz/64 B) on the given scenario. Each tool run uses its own instance
 // of the path so probe load does not compound, as in the paper's separate
-// tests.
+// tests; the runs are independent cells on the experiment engine.
 func zingTable(title string, sc Scenario, cfg RunConfig) LossTable {
 	cfg.applyDefaults()
 	t := LossTable{Title: title}
@@ -55,31 +55,49 @@ func zingTable(title string, sc Scenario, cfg RunConfig) LossTable {
 		{"ZING (20Hz)", 50 * time.Millisecond, 64},
 	}
 
+	type zrow struct {
+		truth LossRow
+		tool  LossRow
+	}
+	cells := make([]cell[zrow], len(specs))
 	for i, spec := range specs {
-		p := NewPath(sc, cfg)
-		z := probe.StartZing(p.Sim, p.D, probeFlowID, probe.ZingConfig{
-			Mean:       spec.mean,
-			PacketSize: spec.size,
-			Horizon:    cfg.Horizon,
-			Seed:       cfg.Seed + int64(i),
-		})
-		p.Run(cfg.Horizon)
-		truth := p.Mon.Truth(cfg.Horizon, badabing.DefaultSlot)
-		if i == 0 {
-			t.Rows = append(t.Rows, LossRow{
-				Name:      "true values",
-				Frequency: truth.Frequency,
-				DurMean:   truth.Duration.Mean(),
-				DurSD:     truth.Duration.StdDev(),
-			})
+		i, spec := i, spec
+		cells[i] = cell[zrow]{
+			key: fmt.Sprintf("zing/%v/%s/seed=%d/h=%v", sc, spec.name, cfg.Seed, cfg.Horizon),
+			run: func() zrow {
+				p := NewPath(sc, cfg)
+				z := probe.StartZing(p.Sim, p.D, probeFlowID, probe.ZingConfig{
+					Mean:       spec.mean,
+					PacketSize: spec.size,
+					Horizon:    cfg.Horizon,
+					Seed:       cfg.Seed + int64(i),
+				})
+				p.Run(cfg.Horizon)
+				truth := p.Mon.Truth(cfg.Horizon, badabing.DefaultSlot)
+				rep := z.Report()
+				return zrow{
+					truth: LossRow{
+						Name:      "true values",
+						Frequency: truth.Frequency,
+						DurMean:   truth.Duration.Mean(),
+						DurSD:     truth.Duration.StdDev(),
+					},
+					tool: LossRow{
+						Name:      spec.name,
+						Frequency: rep.Frequency,
+						DurMean:   rep.Duration.Mean(),
+						DurSD:     rep.Duration.StdDev(),
+					},
+				}
+			},
 		}
-		rep := z.Report()
-		t.Rows = append(t.Rows, LossRow{
-			Name:      spec.name,
-			Frequency: rep.Frequency,
-			DurMean:   rep.Duration.Mean(),
-			DurSD:     rep.Duration.StdDev(),
-		})
+	}
+	rows := runCells(cfg, cells)
+	for i, r := range rows {
+		if i == 0 {
+			t.Rows = append(t.Rows, r.truth)
+		}
+		t.Rows = append(t.Rows, r.tool)
 	}
 	return t
 }
@@ -162,11 +180,16 @@ func badabingRun(sc Scenario, cfg RunConfig, p float64, marker *badabing.MarkerC
 }
 
 func sweepTable(title string, sc Scenario, cfg RunConfig) SweepTable {
-	t := SweepTable{Title: title}
-	for _, p := range DefaultPSweep {
-		t.Rows = append(t.Rows, badabingRun(sc, cfg, p, nil, false))
+	cfg.applyDefaults()
+	cells := make([]cell[SweepRow], len(DefaultPSweep))
+	for i, p := range DefaultPSweep {
+		p := p
+		cells[i] = cell[SweepRow]{
+			key: fmt.Sprintf("sweep/%v/p=%.1f/seed=%d/h=%v", sc, p, cfg.Seed, cfg.Horizon),
+			run: func() SweepRow { return badabingRun(sc, cfg, p, nil, false) },
+		}
 	}
-	return t
+	return SweepTable{Title: title, Rows: runCells(cfg, cells)}
 }
 
 // Table4 reproduces Table 4: BADABING loss estimates for constant-bit-rate
@@ -218,26 +241,32 @@ func (t Table7Result) String() string {
 // the horizon as-is, the long row 4× that.
 func Table7(cfg RunConfig) Table7Result {
 	cfg.applyDefaults()
-	var out Table7Result
 	const p = 0.1
+	var cells []cell[Table7Row]
 	for _, mult := range []int{1, 4} {
 		for _, tau := range []time.Duration{40 * time.Millisecond, 80 * time.Millisecond} {
-			runCfg := cfg
-			runCfg.Horizon = cfg.Horizon * time.Duration(mult)
-			mk := badabing.RecommendedMarker(p, badabing.DefaultSlot)
-			mk.Tau = tau
-			row := badabingRun(CBRUniform, runCfg, p, &mk, false)
-			out.Rows = append(out.Rows, Table7Row{
-				N:     int64(runCfg.Horizon / badabing.DefaultSlot),
-				Tau:   tau,
-				TrueF: row.TrueF,
-				EstF:  row.EstF,
-				TrueD: row.TrueD,
-				EstD:  row.EstD,
+			mult, tau := mult, tau
+			cells = append(cells, cell[Table7Row]{
+				key: fmt.Sprintf("table7/mult=%d/tau=%v/seed=%d/h=%v", mult, tau, cfg.Seed, cfg.Horizon),
+				run: func() Table7Row {
+					runCfg := cfg
+					runCfg.Horizon = cfg.Horizon * time.Duration(mult)
+					mk := badabing.RecommendedMarker(p, badabing.DefaultSlot)
+					mk.Tau = tau
+					row := badabingRun(CBRUniform, runCfg, p, &mk, false)
+					return Table7Row{
+						N:     int64(runCfg.Horizon / badabing.DefaultSlot),
+						Tau:   tau,
+						TrueF: row.TrueF,
+						EstF:  row.EstF,
+						TrueD: row.TrueD,
+						EstD:  row.EstD,
+					}
+				},
 			})
 		}
 	}
-	return out
+	return Table7Result{Rows: runCells(cfg, cells)}
 }
 
 // Table8Row is one line of the tool-comparison table.
@@ -273,33 +302,43 @@ func (t Table8Result) String() string {
 // 876 kb/s, ≈0.5% of the OC3).
 func Table8(cfg RunConfig) Table8Result {
 	cfg.applyDefaults()
-	var out Table8Result
+	var cells []cell[Table8Row]
 	for _, sc := range []Scenario{CBRUniform, Web} {
+		sc := sc
 		// BADABING at p=0.3.
-		row := badabingRun(sc, cfg, 0.3, nil, false)
-		out.Rows = append(out.Rows, Table8Row{
-			Scenario: sc.String(), Tool: "BADABING",
-			TrueF: row.TrueF, EstF: row.EstF, TrueD: row.TrueD, EstD: row.EstD,
+		cells = append(cells, cell[Table8Row]{
+			key: fmt.Sprintf("table8/%v/badabing/seed=%d/h=%v", sc, cfg.Seed, cfg.Horizon),
+			run: func() Table8Row {
+				row := badabingRun(sc, cfg, 0.3, nil, false)
+				return Table8Row{
+					Scenario: sc.String(), Tool: "BADABING",
+					TrueF: row.TrueF, EstF: row.EstF, TrueD: row.TrueD, EstD: row.EstD,
+				}
+			},
 		})
-
 		// ZING at the same packet rate: p/slot × pkts-per-probe =
 		// 0.3/5ms × 3 = 180 packets/s → mean interval 5.555 ms.
-		path := NewPath(sc, cfg)
-		slotF := float64(badabing.DefaultSlot)
-		z := probe.StartZing(path.Sim, path.D, probeFlowID, probe.ZingConfig{
-			Mean:       time.Duration(slotF / (0.3 * 3)),
-			PacketSize: 600,
-			Horizon:    cfg.Horizon,
-			Seed:       cfg.Seed + 7,
-		})
-		path.Run(cfg.Horizon)
-		truth := path.Mon.Truth(cfg.Horizon, badabing.DefaultSlot)
-		rep := z.Report()
-		out.Rows = append(out.Rows, Table8Row{
-			Scenario: sc.String(), Tool: "ZING",
-			TrueF: truth.Frequency, EstF: rep.Frequency,
-			TrueD: truth.Duration.Mean(), EstD: rep.Duration.Mean(),
+		cells = append(cells, cell[Table8Row]{
+			key: fmt.Sprintf("table8/%v/zing/seed=%d/h=%v", sc, cfg.Seed, cfg.Horizon),
+			run: func() Table8Row {
+				path := NewPath(sc, cfg)
+				slotF := float64(badabing.DefaultSlot)
+				z := probe.StartZing(path.Sim, path.D, probeFlowID, probe.ZingConfig{
+					Mean:       time.Duration(slotF / (0.3 * 3)),
+					PacketSize: 600,
+					Horizon:    cfg.Horizon,
+					Seed:       cfg.Seed + 7,
+				})
+				path.Run(cfg.Horizon)
+				truth := path.Mon.Truth(cfg.Horizon, badabing.DefaultSlot)
+				rep := z.Report()
+				return Table8Row{
+					Scenario: sc.String(), Tool: "ZING",
+					TrueF: truth.Frequency, EstF: rep.Frequency,
+					TrueD: truth.Duration.Mean(), EstD: rep.Duration.Mean(),
+				}
+			},
 		})
 	}
-	return out
+	return Table8Result{Rows: runCells(cfg, cells)}
 }

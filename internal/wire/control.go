@@ -62,6 +62,34 @@ func parseQuery(data []byte) (uint64, bool) {
 	return binary.BigEndian.Uint64(data[8:]), true
 }
 
+// encodeReply frames a control reply: 8-byte header (magic + version +
+// padding) followed by the JSON body.
+func encodeReply(reply ControlReply) ([]byte, error) {
+	body, err := json.Marshal(reply)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, replyHeader+len(body))
+	binary.BigEndian.PutUint32(buf[0:], ReplyMagic)
+	buf[4] = Version
+	copy(buf[replyHeader:], body)
+	return buf, nil
+}
+
+// parseReply decodes a control reply packet. ok reports whether the bytes
+// are framed as a reply at all (magic present); a framing match with a
+// corrupt body returns ok=true and a non-nil error, mirroring how Query
+// distinguishes "not for us" from "broken".
+func parseReply(data []byte) (reply ControlReply, ok bool, err error) {
+	if len(data) < replyHeader || binary.BigEndian.Uint32(data[0:]) != ReplyMagic {
+		return reply, false, nil
+	}
+	if err := json.Unmarshal(data[replyHeader:], &reply); err != nil {
+		return reply, true, fmt.Errorf("wire: control reply: %w", err)
+	}
+	return reply, true, nil
+}
+
 // SetMarker configures the marking parameters used when answering
 // control queries (and only those; Report still takes explicit
 // parameters). Safe to call while Run is active.
@@ -84,14 +112,10 @@ func (c *Collector) handleQuery(expID uint64, addr net.Addr) {
 		reply.PacketsLost = ss.PacketsLost
 		reply.Skipped = ss.Skipped
 	}
-	body, err := json.Marshal(reply)
+	buf, err := encodeReply(reply)
 	if err != nil {
 		return
 	}
-	buf := make([]byte, replyHeader+len(body))
-	binary.BigEndian.PutUint32(buf[0:], ReplyMagic)
-	buf[4] = Version
-	copy(buf[replyHeader:], body)
 	c.conn.WriteTo(buf, addr)
 }
 
@@ -123,16 +147,17 @@ func Query(conn net.Conn, expID uint64, timeout time.Duration) (ControlReply, er
 		if err != nil {
 			return out, fmt.Errorf("wire: control query: %w", err)
 		}
-		if n < replyHeader || binary.BigEndian.Uint32(buf[0:]) != ReplyMagic {
+		reply, ok, err := parseReply(buf[:n])
+		if !ok {
 			continue // not a reply (e.g. stray probe reflection)
 		}
-		if err := json.Unmarshal(buf[replyHeader:n], &out); err != nil {
-			return out, fmt.Errorf("wire: control reply: %w", err)
+		if err != nil {
+			return out, err
 		}
-		if out.ExpID != expID {
+		if reply.ExpID != expID {
 			continue // stale reply for an earlier round
 		}
-		return out, nil
+		return reply, nil
 	}
 }
 

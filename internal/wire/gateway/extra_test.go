@@ -7,6 +7,7 @@ import (
 )
 
 func TestGatewayQueueingAddsLatency(t *testing.T) {
+	t.Parallel()
 	sink, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -53,6 +54,7 @@ func TestGatewayQueueingAddsLatency(t *testing.T) {
 }
 
 func TestGatewayEpisodesDropProbes(t *testing.T) {
+	t.Parallel()
 	sink, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -62,8 +64,8 @@ func TestGatewayEpisodesDropProbes(t *testing.T) {
 		Listen:          "127.0.0.1:0",
 		Target:          sink.LocalAddr().String(),
 		BitsPerSec:      10_000_000,
-		EpisodeEvery:    200 * time.Millisecond,
-		EpisodeDuration: 80 * time.Millisecond,
+		EpisodeEvery:    150 * time.Millisecond,
+		EpisodeDuration: 50 * time.Millisecond,
 		EpisodeOverload: 1.5,
 		Seed:            5,
 	})
@@ -77,13 +79,15 @@ func TestGatewayEpisodesDropProbes(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
+	// Probe for ~1.2 s: the 150 ms mean spacing (floored at 3× the 50 ms
+	// duration) yields several episodes in the window.
 	pkt := make([]byte, 600)
-	deadline := time.Now().Add(2 * time.Second)
+	deadline := time.Now().Add(1200 * time.Millisecond)
 	for time.Now().Before(deadline) {
 		conn.Write(pkt)
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(3 * time.Millisecond)
 	}
-	time.Sleep(100 * time.Millisecond)
+	time.Sleep(50 * time.Millisecond)
 	fwd, drop, eps := g.Stats()
 	if eps == 0 {
 		t.Fatal("no episodes generated")
@@ -101,6 +105,7 @@ func TestGatewayEpisodesDropProbes(t *testing.T) {
 }
 
 func TestGatewayConfigErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := New(Config{Listen: "not-an-addr::::", Target: "127.0.0.1:1"}); err == nil {
 		t.Error("bad listen address accepted")
 	}
@@ -110,6 +115,7 @@ func TestGatewayConfigErrors(t *testing.T) {
 }
 
 func TestGatewayCloseIdempotent(t *testing.T) {
+	t.Parallel()
 	sink, _ := net.ListenPacket("udp", "127.0.0.1:0")
 	defer sink.Close()
 	g, err := New(Config{Listen: "127.0.0.1:0", Target: sink.LocalAddr().String()})

@@ -11,6 +11,7 @@ import (
 )
 
 func TestGatewayForwardsCleanly(t *testing.T) {
+	t.Parallel()
 	sink, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -57,6 +58,7 @@ func TestGatewayForwardsCleanly(t *testing.T) {
 }
 
 func TestGatewayDropsWhenOverloaded(t *testing.T) {
+	t.Parallel()
 	sink, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -85,24 +87,32 @@ func TestGatewayDropsWhenOverloaded(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		conn.Write(pkt)
 	}
-	time.Sleep(200 * time.Millisecond)
-	fwd, drop, _ := g.Stats()
-	if drop == 0 {
-		t.Fatalf("no drops under 20x overload (fwd=%d)", fwd)
-	}
-	if fwd == 0 {
-		t.Fatal("everything dropped; queue admits at least the head")
+	// Drops are counted synchronously in the receive path; poll briefly
+	// instead of sleeping a fixed interval.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		fwd, drop, _ := g.Stats()
+		if fwd > 0 && drop > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("after 20x overload burst: fwd=%d drop=%d, want both > 0", fwd, drop)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 
 // TestEndToEndLossEpisodes is the live-socket analogue of the paper's
 // experiment: BADABING sender → impairment gateway with engineered loss
 // episodes → collector. The collector must measure a clearly nonzero loss
-// frequency while a clean control run measures zero.
+// frequency while a clean control run measures zero. It is the package's
+// long soak (≈4 s of real-time probing) and is skipped under -short; with
+// t.Parallel it overlaps the rest of the package instead of serializing.
 func TestEndToEndLossEpisodes(t *testing.T) {
 	if testing.Short() {
-		t.Skip("real-time end-to-end test")
+		t.Skip("real-time end-to-end soak")
 	}
+	t.Parallel()
 	colConn, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
