@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-full fuzz experiments clean
+.PHONY: all build vet test race check bench bench-full fuzz experiments clean
 
 all: build vet test
 
@@ -17,7 +17,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/wire/... .
+	$(GO) test -race ./internal/runner/... ./internal/wire/... ./internal/fleet/... ./cmd/badabingd/... .
+
+# Fast pre-push gate: static checks plus the race-sensitive packages.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./internal/fleet/... ./internal/runner/...
 
 # Shortened-horizon benchmarks: one per paper table/figure plus ablations.
 bench:

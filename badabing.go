@@ -62,8 +62,35 @@ type (
 // DefaultSlot is the paper's 5 ms discretization interval.
 const DefaultSlot = core.DefaultSlot
 
-// Schedule draws the experiment start slots for a session.
-func Schedule(cfg ScheduleConfig) []Plan { return core.Schedule(cfg) }
+// Schedule draws the experiment start slots for a session, rejecting
+// invalid configurations with an error.
+func Schedule(cfg ScheduleConfig) ([]Plan, error) { return core.Schedule(cfg) }
+
+// MustSchedule is Schedule for statically known-good configurations; it
+// panics on an invalid one.
+func MustSchedule(cfg ScheduleConfig) []Plan { return core.MustSchedule(cfg) }
+
+// Fraction returns a pointer to f, for ScheduleConfig.ExtendedFraction.
+func Fraction(f float64) *float64 { return core.Fraction(f) }
+
+// Streaming estimation (mid-run snapshots over sliding windows).
+type (
+	// Stream is the incremental estimator: outcomes are observed one at
+	// a time and F̂/D̂/r̂ can be snapshotted mid-run.
+	Stream = core.Stream
+	// StreamConfig parameterizes a Stream.
+	StreamConfig = core.StreamConfig
+	// StreamSnapshot is the estimator state at one instant.
+	StreamSnapshot = core.StreamSnapshot
+	// Estimates is a JSON-friendly snapshot of one view's estimators.
+	Estimates = core.Estimates
+)
+
+// NewStream validates the configuration and returns an empty stream.
+func NewStream(cfg StreamConfig) (*Stream, error) { return core.NewStream(cfg) }
+
+// EstimatesOf summarizes an accumulator in Estimates form.
+func EstimatesOf(a *Accumulator) Estimates { return core.EstimatesOf(a) }
 
 // Mark classifies probes as congested per §6.1 (loss, or high one-way
 // delay near a loss).

@@ -1,0 +1,87 @@
+// Command badabingd is a long-running measurement daemon: it owns a
+// fleet of concurrent BADABING measurement sessions and exposes an HTTP
+// API to create sessions, watch live F̂/D̂/r̂ snapshots mid-run, stop
+// sessions and scrape Prometheus metrics.
+//
+//	badabingd -listen :8642
+//
+//	curl -X POST localhost:8642/v1/sessions -d '{"scenario":"cbr","slots":60000}'
+//	curl localhost:8642/v1/sessions/s0001/snapshot
+//	curl localhost:8642/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"badabing/internal/fleet"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "badabingd:", err)
+		os.Exit(1)
+	}
+}
+
+// run wires the registry and HTTP server together and blocks until ctx
+// is cancelled, then drains sessions and in-flight requests. If ready is
+// non-nil it receives the bound listen address once the server accepts
+// connections (used by tests to bind port 0).
+func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("badabingd", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	listen := fs.String("listen", ":8642", "HTTP listen address")
+	maxSessions := fs.Int("max-sessions", 0, "max registered sessions (0 = default)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "max concurrently running sessions (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := fleet.NewRegistry(fleet.Config{
+		MaxSessions:   *maxSessions,
+		MaxConcurrent: *maxConcurrent,
+	})
+	defer reg.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: fleet.NewHandler(reg)}
+	fmt.Fprintf(logw, "badabingd: listening on %s (%d workers)\n", ln.Addr(), reg.Workers())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(logw, "badabingd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

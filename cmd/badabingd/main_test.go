@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDaemonEndToEnd boots the daemon on an ephemeral port, runs one
+// session through the API, scrapes /metrics and shuts down cleanly.
+func TestDaemonEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-listen", "127.0.0.1:0", "-max-concurrent", "2"}, io.Discard, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/sessions", "application/json",
+		strings.NewReader(`{"scenario":"idle","slots":2000,"seed":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || view.ID == "" {
+		t.Fatalf("create: status %d view %+v", resp.StatusCode, view)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for view.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("session stuck in %q", view.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err = http.Get(base + "/v1/sessions/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	if !strings.Contains(string(body), `badabingd_sessions{state="done"} 1`) {
+		t.Errorf("metrics missing done session:\n%s", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestDaemonBadFlags: flag errors surface instead of hanging.
+func TestDaemonBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-no-such-flag"}, io.Discard, nil)
+	if err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}

@@ -57,7 +57,7 @@ func measure(name string, build func(sim *simnet.Sim, d *simnet.Dumbbell, ids *t
 	ids := traffic.NewIDSpace(1000)
 	build(sim, d, ids)
 
-	plans := badabing.Schedule(badabing.ScheduleConfig{
+	plans := badabing.MustSchedule(badabing.ScheduleConfig{
 		P: p, N: int64(horizon / slot), Improved: true, Seed: 7,
 	})
 	bb := probe.StartBadabing(sim, d, 7, probe.BadabingConfig{

@@ -45,7 +45,7 @@ func main() {
 	})
 
 	// The measurement: schedule the probe process and start BADABING.
-	plans := badabing.Schedule(badabing.ScheduleConfig{
+	plans := badabing.MustSchedule(badabing.ScheduleConfig{
 		P:        p,
 		N:        int64(horizon / slot),
 		Improved: true,

@@ -42,7 +42,7 @@ func wellBehaved() {
 		Overload:        4,
 		BaseUtilization: 0.25,
 	})
-	plans := badabing.Schedule(badabing.ScheduleConfig{
+	plans := badabing.MustSchedule(badabing.ScheduleConfig{
 		P: p, N: int64(horizon / slot), Improved: true, Seed: 8,
 	})
 	bb := probe.StartBadabing(sim, d, 7, probe.BadabingConfig{
@@ -88,7 +88,7 @@ func pathological() {
 		}
 	}
 
-	plans := badabing.Schedule(badabing.ScheduleConfig{
+	plans := badabing.MustSchedule(badabing.ScheduleConfig{
 		P: p, N: int64(horizon / slot), Improved: true, Seed: 3,
 	})
 	bb := probe.StartBadabing(sim, d, 7, probe.BadabingConfig{
@@ -132,7 +132,7 @@ func monitorDemo() {
 		Overload:        4,
 		BaseUtilization: 0.25,
 	})
-	plans := badabing.Schedule(badabing.ScheduleConfig{
+	plans := badabing.MustSchedule(badabing.ScheduleConfig{
 		P: 0.3, N: int64(budget / slot), Improved: true, Seed: 9,
 	})
 	bb := probe.StartBadabing(sim, d, 7, probe.BadabingConfig{

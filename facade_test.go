@@ -10,7 +10,7 @@ import (
 // TestPublicAPIRoundTrip exercises the documented downstream workflow
 // through the facade package only: schedule, mark, assemble, report.
 func TestPublicAPIRoundTrip(t *testing.T) {
-	plans := badabing.Schedule(badabing.ScheduleConfig{P: 0.5, N: 1000, Seed: 1})
+	plans := badabing.MustSchedule(badabing.ScheduleConfig{P: 0.5, N: 1000, Seed: 1})
 	if len(plans) == 0 {
 		t.Fatal("empty schedule")
 	}

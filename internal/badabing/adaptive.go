@@ -104,7 +104,7 @@ func (a *Adaptive) Converged() bool { return a.converged }
 // the probability it was drawn at.
 func (a *Adaptive) NextRound(seed int64) ([]Plan, float64) {
 	a.seed = seed
-	plans := Schedule(ScheduleConfig{
+	plans := MustSchedule(ScheduleConfig{
 		P:        a.p,
 		N:        a.cfg.RoundSlots,
 		Improved: true,

@@ -52,30 +52,48 @@ type ScheduleConfig struct {
 	// extended with probability ExtendedFraction.
 	Improved bool
 	// ExtendedFraction is the probability that an improved-design
-	// experiment uses three probes instead of two. Defaults to the
+	// experiment uses three probes instead of two. nil selects the
 	// paper's 1/2; §5.5 notes the weighting may be varied — basic
 	// experiments cost less probe load, while extended ones feed the
 	// r̂ correction (and, with Accumulator.ExtendedPairs, the duration
-	// estimate itself).
-	ExtendedFraction float64
+	// estimate itself). An explicit &0.0 disables extended experiments
+	// entirely (use Fraction to build the pointer).
+	ExtendedFraction *float64
 	// Seed for the schedule RNG.
 	Seed int64
+}
+
+// Fraction returns a pointer to f, for setting
+// ScheduleConfig.ExtendedFraction in a composite literal.
+func Fraction(f float64) *float64 { return &f }
+
+// Validate checks the configuration without drawing a schedule. NaN
+// probabilities are rejected by the same comparisons as out-of-range ones.
+func (cfg ScheduleConfig) Validate() error {
+	if !(cfg.P > 0 && cfg.P <= 1) {
+		return fmt.Errorf("badabing: probe probability %v out of (0,1]", cfg.P)
+	}
+	if cfg.N <= 0 {
+		return fmt.Errorf("badabing: slot count %d must be positive", cfg.N)
+	}
+	if f := cfg.ExtendedFraction; f != nil && !(*f >= 0 && *f <= 1) {
+		return fmt.Errorf("badabing: extended fraction %v out of [0,1]", *f)
+	}
+	return nil
 }
 
 // Schedule draws the experiment start slots. Experiments whose probes
 // would overlap a previous experiment's slots are kept — the process is
 // defined per-slot independent — but ones extending past N are truncated
-// away.
-func Schedule(cfg ScheduleConfig) []Plan {
-	if cfg.P <= 0 || cfg.P > 1 {
-		panic(fmt.Sprintf("badabing: probe probability %v out of (0,1]", cfg.P))
+// away. An invalid configuration returns an error (never a panic), so
+// services can reject bad requests without crashing.
+func Schedule(cfg ScheduleConfig) ([]Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	extFrac := cfg.ExtendedFraction
-	if extFrac == 0 {
-		extFrac = 0.5
-	}
-	if extFrac < 0 || extFrac > 1 {
-		panic(fmt.Sprintf("badabing: extended fraction %v out of [0,1]", extFrac))
+	extFrac := 0.5
+	if cfg.ExtendedFraction != nil {
+		extFrac = *cfg.ExtendedFraction
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var plans []Plan
@@ -91,6 +109,18 @@ func Schedule(cfg ScheduleConfig) []Plan {
 			break
 		}
 		plans = append(plans, Plan{Slot: i, Probes: n})
+	}
+	return plans, nil
+}
+
+// MustSchedule is Schedule for statically known-good configurations; it
+// panics on an invalid one. Anything handling untrusted configuration
+// (network headers, API requests) must use Schedule and propagate the
+// error instead.
+func MustSchedule(cfg ScheduleConfig) []Plan {
+	plans, err := Schedule(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return plans
 }

@@ -64,7 +64,7 @@ func runSynthetic(t *testing.T, seed int64, n int, gapMean float64, epLen int, p
 	if trueD == 0 {
 		t.Fatal("synthetic series has no episodes")
 	}
-	plans := Schedule(ScheduleConfig{P: p, N: int64(n), Improved: improved, Seed: seed + 1})
+	plans := MustSchedule(ScheduleConfig{P: p, N: int64(n), Improved: improved, Seed: seed + 1})
 	acc := &Accumulator{}
 	for _, pl := range plans {
 		truth := make([]bool, pl.Probes)
@@ -152,7 +152,7 @@ func TestImprovedDurationCorrectsBias(t *testing.T) {
 
 func TestScheduleDensityAndShape(t *testing.T) {
 	const n, p = 100_000, 0.3
-	plans := Schedule(ScheduleConfig{P: p, N: n, Seed: 7})
+	plans := MustSchedule(ScheduleConfig{P: p, N: n, Seed: 7})
 	got := float64(len(plans)) / n
 	if math.Abs(got-p) > 0.02 {
 		t.Errorf("experiment density %v, want ≈%v", got, p)
@@ -168,7 +168,7 @@ func TestScheduleDensityAndShape(t *testing.T) {
 }
 
 func TestScheduleImprovedMix(t *testing.T) {
-	plans := Schedule(ScheduleConfig{P: 0.3, N: 100_000, Improved: true, Seed: 8})
+	plans := MustSchedule(ScheduleConfig{P: 0.3, N: 100_000, Improved: true, Seed: 8})
 	ext := 0
 	for _, pl := range plans {
 		if pl.Probes == 3 {
@@ -184,16 +184,26 @@ func TestScheduleImprovedMix(t *testing.T) {
 }
 
 func TestScheduleInvalidP(t *testing.T) {
-	for _, p := range []float64{0, -0.1, 1.5} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Schedule(P=%v) did not panic", p)
-				}
-			}()
-			Schedule(ScheduleConfig{P: p, N: 10})
-		}()
+	for _, p := range []float64{0, -0.1, 1.5, math.NaN()} {
+		if _, err := Schedule(ScheduleConfig{P: p, N: 10}); err == nil {
+			t.Errorf("Schedule(P=%v) accepted", p)
+		}
 	}
+	if _, err := Schedule(ScheduleConfig{P: 0.5, N: 0}); err == nil {
+		t.Error("Schedule(N=0) accepted")
+	}
+	if _, err := Schedule(ScheduleConfig{P: 0.5, N: 10}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMustSchedulePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchedule(P=0) did not panic")
+		}
+	}()
+	MustSchedule(ScheduleConfig{P: 0, N: 10})
 }
 
 func TestAccumulatorCounts(t *testing.T) {
@@ -274,7 +284,7 @@ func TestValidationDetectsShortGapViolations(t *testing.T) {
 			series[i] = true
 		}
 	}
-	plans := Schedule(ScheduleConfig{P: 0.5, N: int64(n), Improved: true, Seed: 11})
+	plans := MustSchedule(ScheduleConfig{P: 0.5, N: int64(n), Improved: true, Seed: 11})
 	acc := &Accumulator{}
 	for _, pl := range plans {
 		bits := make([]bool, pl.Probes)
@@ -329,7 +339,7 @@ func TestMonitorConvergence(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
 	series, _, _ := synthSeries(rng, 4_000_000, 500, 14)
 	m := NewMonitor(MonitorConfig{MinExperiments: 500})
-	plans := Schedule(ScheduleConfig{P: 0.2, N: int64(len(series)), Improved: true, Seed: 15})
+	plans := MustSchedule(ScheduleConfig{P: 0.2, N: int64(len(series)), Improved: true, Seed: 15})
 	converged := false
 	var used int
 	for i, pl := range plans {

@@ -9,7 +9,7 @@ import (
 func recordSynthetic(seed int64, n int) (*Recorder, float64, float64) {
 	rng := rand.New(rand.NewSource(seed))
 	series, f, d := synthSeries(rng, n, 500, 14)
-	plans := Schedule(ScheduleConfig{P: 0.2, N: int64(n), Improved: true, Seed: seed + 1})
+	plans := MustSchedule(ScheduleConfig{P: 0.2, N: int64(n), Improved: true, Seed: seed + 1})
 	rec := &Recorder{}
 	for _, pl := range plans {
 		bits := make([]bool, pl.Probes)

@@ -11,7 +11,7 @@ import (
 // mark → assemble → report.
 func Example() {
 	// Draw the probe schedule: 50 000 slots of 5 ms (250 s), p = 0.5.
-	plans := badabing.Schedule(badabing.ScheduleConfig{P: 0.5, N: 50000, Seed: 7})
+	plans := badabing.MustSchedule(badabing.ScheduleConfig{P: 0.5, N: 50000, Seed: 7})
 
 	// Pretend the path had a 200 ms loss episode (40 slots) every
 	// 1000 slots (5 s), and synthesize per-probe observations.

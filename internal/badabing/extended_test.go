@@ -36,7 +36,7 @@ func runSyntheticPairs(t *testing.T, seed int64, n int, extendedPairs bool) (est
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	series, _, d := synthSeries(rng, n, 500, 14)
-	plans := Schedule(ScheduleConfig{P: 0.2, N: int64(n), Improved: true, Seed: seed + 1})
+	plans := MustSchedule(ScheduleConfig{P: 0.2, N: int64(n), Improved: true, Seed: seed + 1})
 	acc := &Accumulator{ExtendedPairs: extendedPairs}
 	for _, pl := range plans {
 		bits := make([]bool, pl.Probes)
@@ -72,7 +72,7 @@ func TestExtendedPairsShrinkStdDev(t *testing.T) {
 	runOne := func(pairs bool) float64 {
 		rng := rand.New(rand.NewSource(33))
 		series, _, _ := synthSeries(rng, 1_000_000, 500, 14)
-		plans := Schedule(ScheduleConfig{P: 0.2, N: int64(len(series)), Improved: true, Seed: 34})
+		plans := MustSchedule(ScheduleConfig{P: 0.2, N: int64(len(series)), Improved: true, Seed: 34})
 		acc := &Accumulator{ExtendedPairs: pairs}
 		for _, pl := range plans {
 			bits := make([]bool, pl.Probes)
@@ -94,8 +94,8 @@ func TestExtendedPairsShrinkStdDev(t *testing.T) {
 
 func TestScheduleExtendedFraction(t *testing.T) {
 	count := func(frac float64) float64 {
-		plans := Schedule(ScheduleConfig{
-			P: 0.5, N: 100_000, Improved: true, ExtendedFraction: frac, Seed: 41,
+		plans := MustSchedule(ScheduleConfig{
+			P: 0.5, N: 100_000, Improved: true, ExtendedFraction: Fraction(frac), Seed: 41,
 		})
 		ext := 0
 		for _, pl := range plans {
@@ -114,10 +114,34 @@ func TestScheduleExtendedFraction(t *testing.T) {
 }
 
 func TestScheduleExtendedFractionValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("fraction > 1 accepted")
+	for _, f := range []float64{1.5, -0.1, math.NaN()} {
+		_, err := Schedule(ScheduleConfig{P: 0.5, N: 100, Improved: true, ExtendedFraction: Fraction(f)})
+		if err == nil {
+			t.Errorf("fraction %v accepted", f)
 		}
-	}()
-	Schedule(ScheduleConfig{P: 0.5, N: 100, Improved: true, ExtendedFraction: 1.5})
+	}
+}
+
+// TestScheduleExtendedFractionZero pins the fix for the zero-value
+// footgun: an explicit 0 means "no extended experiments", while leaving
+// the field nil still selects the paper's 1/2.
+func TestScheduleExtendedFractionZero(t *testing.T) {
+	cfg := ScheduleConfig{P: 0.5, N: 100_000, Improved: true, Seed: 41}
+	cfg.ExtendedFraction = Fraction(0)
+	for _, pl := range MustSchedule(cfg) {
+		if pl.Probes == 3 {
+			t.Fatal("extended experiment scheduled with ExtendedFraction = &0")
+		}
+	}
+	cfg.ExtendedFraction = nil
+	ext := 0
+	plans := MustSchedule(cfg)
+	for _, pl := range plans {
+		if pl.Probes == 3 {
+			ext++
+		}
+	}
+	if frac := float64(ext) / float64(len(plans)); frac < 0.45 || frac > 0.55 {
+		t.Errorf("nil ExtendedFraction drew %v extended, want ≈0.5", frac)
+	}
 }

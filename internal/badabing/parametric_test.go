@@ -36,7 +36,7 @@ func synthGeometric(rng *rand.Rand, n int, gapMean, meanLen float64) ([]bool, fl
 }
 
 func probeSeries(series []bool, p float64, seed int64) *Accumulator {
-	plans := Schedule(ScheduleConfig{P: p, N: int64(len(series)), Improved: true, Seed: seed})
+	plans := MustSchedule(ScheduleConfig{P: p, N: int64(len(series)), Improved: true, Seed: seed})
 	acc := &Accumulator{}
 	for _, pl := range plans {
 		bits := make([]bool, pl.Probes)

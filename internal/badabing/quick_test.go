@@ -65,7 +65,7 @@ func TestScheduleInvariantsProperty(t *testing.T) {
 	f := func(seed int64, pRaw uint16, improved bool) bool {
 		p := (float64(pRaw%900) + 50) / 1000 // 0.05 .. 0.95
 		const n = 5000
-		plans := Schedule(ScheduleConfig{P: p, N: n, Improved: improved, Seed: seed})
+		plans := MustSchedule(ScheduleConfig{P: p, N: n, Improved: improved, Seed: seed})
 		last := int64(-1)
 		for _, pl := range plans {
 			if pl.Slot <= last {

@@ -1,0 +1,203 @@
+package badabing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// streamFixture runs a fixed-seed synthetic measurement and feeds every
+// outcome to both the batch accumulator and a stream configured with the
+// given window.
+func streamFixture(t *testing.T, windowSlots int64, buckets int) (*Accumulator, *Stream) {
+	t.Helper()
+	const n = 200_000
+	rng := rand.New(rand.NewSource(91))
+	series, _, d := synthSeries(rng, n, 500, 14)
+	if d == 0 {
+		t.Fatal("synthetic series has no episodes")
+	}
+	plans := MustSchedule(ScheduleConfig{P: 0.2, N: n, Improved: true, Seed: 92})
+	acc := &Accumulator{}
+	st, err := NewStream(StreamConfig{WindowSlots: windowSlots, Buckets: buckets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range plans {
+		truth := make([]bool, pl.Probes)
+		for j := range truth {
+			truth[j] = series[pl.Slot+int64(j)]
+		}
+		bits := observe(rng, truth, 0.9, 0.9)
+		acc.Add(bits)
+		st.Observe(pl.Slot, bits)
+	}
+	return acc, st
+}
+
+// TestStreamBatchParity pins the acceptance criterion: a single window
+// spanning the entire fixed-seed run produces F̂, D̂ and r̂ identical — to
+// the last float bit — to the batch estimator, in both the total and the
+// window views.
+func TestStreamBatchParity(t *testing.T) {
+	acc, st := streamFixture(t, 200_000, 16)
+	snap := st.Snapshot()
+	batch := EstimatesOf(acc)
+
+	for _, view := range []struct {
+		name string
+		got  Estimates
+	}{{"total", snap.Total}, {"window", snap.Window}} {
+		if view.got != batch {
+			t.Errorf("%s view diverged from batch:\n got %+v\nwant %+v", view.name, view.got, batch)
+		}
+		pairs := []struct {
+			name      string
+			got, want float64
+		}{
+			{"F̂", view.got.Frequency, batch.Frequency},
+			{"D̂ basic", view.got.DurationBasic, batch.DurationBasic},
+			{"D̂ improved", view.got.DurationImproved, batch.DurationImproved},
+			{"r̂", view.got.RHat, batch.RHat},
+			{"stddev", view.got.StdDev, batch.StdDev},
+		}
+		for _, p := range pairs {
+			if math.Float64bits(p.got) != math.Float64bits(p.want) {
+				t.Errorf("%s %s: %x != batch %x", view.name, p.name,
+					math.Float64bits(p.got), math.Float64bits(p.want))
+			}
+		}
+	}
+
+	// Golden values for the fixed seed, so estimator regressions cannot
+	// hide behind the parity check (both sides drifting together).
+	golden := []struct {
+		name string
+		got  float64
+		want uint64
+	}{
+		{"F̂", snap.Total.Frequency, 0x3f97afa1900dd007},
+		{"D̂ improved", snap.Total.DurationImproved, 0x3fb3a779381c9e69},
+		{"r̂", snap.Total.RHat, 0x3fee85e85e85e85f},
+	}
+	for _, g := range golden {
+		if math.Float64bits(g.got) != g.want {
+			t.Errorf("golden %s: got %v (bits %x), want bits %x", g.name, g.got,
+				math.Float64bits(g.got), g.want)
+		}
+	}
+	if !snap.Total.HasDuration || !snap.Total.HasRHat {
+		t.Error("fixture produced no duration or r̂ estimate")
+	}
+}
+
+// TestStreamWindowTracksRegimeChange: a path that is lossy early and clean
+// late should show near-zero frequency in a recent window while the total
+// still averages the lossy past in.
+func TestStreamWindowTracksRegimeChange(t *testing.T) {
+	const n = 100_000
+	rng := rand.New(rand.NewSource(17))
+	plans := MustSchedule(ScheduleConfig{P: 0.3, N: n, Seed: 18})
+	st, err := NewStream(StreamConfig{WindowSlots: 20_000, Buckets: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range plans {
+		lossy := pl.Slot < n/2
+		bits := make([]bool, pl.Probes)
+		for j := range bits {
+			bits[j] = lossy && rng.Float64() < 0.3
+		}
+		st.Observe(pl.Slot, bits)
+	}
+	snap := st.Snapshot()
+	if snap.Window.Frequency != 0 {
+		t.Errorf("window F̂ = %v over the clean tail, want 0", snap.Window.Frequency)
+	}
+	if snap.Total.Frequency < 0.05 {
+		t.Errorf("total F̂ = %v, want the lossy half to dominate", snap.Total.Frequency)
+	}
+	if snap.Window.M >= snap.Total.M {
+		t.Errorf("window M %d not below total M %d", snap.Window.M, snap.Total.M)
+	}
+}
+
+// TestStreamOutOfOrderOldOutcome: outcomes older than the window count in
+// the total but not the window.
+func TestStreamOutOfOrderOldOutcome(t *testing.T) {
+	st, err := NewStream(StreamConfig{WindowSlots: 100, Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Observe(10_000, []bool{false, false})
+	st.Observe(3, []bool{true, true}) // far behind the window
+	snap := st.Snapshot()
+	if snap.Total.M != 2 {
+		t.Errorf("total M = %d, want 2", snap.Total.M)
+	}
+	if snap.Window.M != 1 || snap.Window.Frequency != 0 {
+		t.Errorf("window M = %d F̂ = %v, want the stale outcome dropped",
+			snap.Window.M, snap.Window.Frequency)
+	}
+	if snap.LastSlot != 10_000 {
+		t.Errorf("LastSlot = %d, want 10000", snap.LastSlot)
+	}
+}
+
+// TestStreamNoWindowMirrorsTotal: windowing disabled means the window view
+// is the total view.
+func TestStreamNoWindowMirrorsTotal(t *testing.T) {
+	st, err := NewStream(StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Observe(0, []bool{true, false})
+	st.Observe(5, []bool{false, true, false})
+	snap := st.Snapshot()
+	if snap.Total != snap.Window {
+		t.Errorf("window %+v != total %+v", snap.Window, snap.Total)
+	}
+	if snap.Total.M != 2 {
+		t.Errorf("M = %d, want 2", snap.Total.M)
+	}
+}
+
+// TestStreamEmptySnapshot: snapshotting an empty stream is defined.
+func TestStreamEmptySnapshot(t *testing.T) {
+	st, err := NewStream(StreamConfig{WindowSlots: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if snap.Total.M != 0 || snap.Window.M != 0 || snap.LastSlot != -1 {
+		t.Errorf("empty snapshot %+v", snap)
+	}
+}
+
+func TestStreamConfigValidation(t *testing.T) {
+	for _, cfg := range []StreamConfig{
+		{WindowSlots: -1},
+		{Buckets: -2},
+		{Slot: -1},
+	} {
+		if _, err := NewStream(cfg); err == nil {
+			t.Errorf("NewStream(%+v) accepted", cfg)
+		}
+	}
+}
+
+// TestStreamExtendedPairs: the §5.5 modification applies to both views.
+func TestStreamExtendedPairs(t *testing.T) {
+	st, err := NewStream(StreamConfig{WindowSlots: 100, ExtendedPairs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Observe(0, []bool{false, true, true})
+	snap := st.Snapshot()
+	acc := &Accumulator{ExtendedPairs: true}
+	acc.AddExtended(false, true, true)
+	want := EstimatesOf(acc)
+	if snap.Total != want || snap.Window != want {
+		t.Errorf("pairs: total %+v window %+v want %+v", snap.Total, snap.Window, want)
+	}
+}

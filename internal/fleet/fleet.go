@@ -1,0 +1,583 @@
+// Package fleet is the multi-session measurement service behind the
+// badabingd daemon: a registry that owns many concurrent BADABING
+// measurement sessions, each probing one path and feeding a streaming
+// estimator, with create/start/snapshot/stop lifecycle, bounded
+// concurrency on the shared experiment engine (internal/runner),
+// per-session context cancellation and panic isolation.
+//
+// Sessions currently run against in-process simulated paths (the lab
+// testbed scenarios), which makes the whole service testable without
+// sockets; the session loop is transport-agnostic, so a wire-backed path
+// (sender + collector control channel) slots in behind the same
+// interface.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"badabing/internal/badabing"
+	"badabing/internal/runner"
+)
+
+// State is a session's lifecycle position.
+type State int
+
+// Session states. Pending sessions are created but waiting for a worker
+// slot; Done, Failed and Stopped are terminal.
+const (
+	Pending State = iota
+	Running
+	Done
+	Failed
+	Stopped
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Stopped:
+		return "stopped"
+	default:
+		return "unknown"
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Stopped }
+
+// MarshalJSON renders the state as its lowercase name.
+func (s State) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the lowercase name form emitted by MarshalJSON.
+func (s *State) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for _, st := range []State{Pending, Running, Done, Failed, Stopped} {
+		if st.String() == name {
+			*s = st
+			return nil
+		}
+	}
+	return fmt.Errorf("fleet: unknown session state %q", name)
+}
+
+// SessionConfig describes one measurement session. The zero value is
+// completed with defaults; it is the JSON body of the create API call.
+type SessionConfig struct {
+	// Name is a free-form label; defaults to the session id.
+	Name string `json:"name,omitempty"`
+	// Scenario selects the simulated path workload: "idle", "tcp",
+	// "cbr" (default), "cbr-mixed" or "web".
+	Scenario string `json:"scenario,omitempty"`
+	// P is the per-slot experiment probability. Default 0.3.
+	P float64 `json:"p,omitempty"`
+	// Slots is the measurement horizon in slots. Default 60000 (5
+	// minutes at the default 5 ms slot).
+	Slots int64 `json:"slots,omitempty"`
+	// SlotMicros is the slot width in microseconds. Default 5000.
+	SlotMicros int64 `json:"slot_micros,omitempty"`
+	// Basic disables the improved (triple-probe) design.
+	Basic bool `json:"basic,omitempty"`
+	// ExtendedFraction is the improved design's triple-probe weighting;
+	// null selects the paper's 1/2, 0 disables extended experiments.
+	ExtendedFraction *float64 `json:"extended_fraction,omitempty"`
+	// ExtendedPairs enables the §5.5 pair-counting modification.
+	ExtendedPairs bool `json:"extended_pairs,omitempty"`
+	// Seed fixes all randomness; 0 derives a stable seed from the
+	// session id via the runner's descriptor hash.
+	Seed int64 `json:"seed,omitempty"`
+	// WindowSlots is the streaming estimator's sliding-window span.
+	// Default Slots/4 (min 1000 slots).
+	WindowSlots int64 `json:"window_slots,omitempty"`
+	// StepSlots is the harvest cadence: how often (in slots of virtual
+	// time) the session re-marks observations, feeds the stream and
+	// publishes a snapshot. Default 1000.
+	StepSlots int64 `json:"step_slots,omitempty"`
+	// StepDelayMicros throttles the session by sleeping this much real
+	// time between harvest steps. Simulated paths run in virtual time,
+	// so 0 means "as fast as the CPU allows"; set it to pace a session
+	// like a live one.
+	StepDelayMicros int64 `json:"step_delay_micros,omitempty"`
+}
+
+func (c *SessionConfig) applyDefaults() {
+	if c.Scenario == "" {
+		c.Scenario = "cbr"
+	}
+	if c.P == 0 {
+		c.P = 0.3
+	}
+	if c.Slots == 0 {
+		c.Slots = 60_000
+	}
+	if c.SlotMicros == 0 {
+		c.SlotMicros = 5000
+	}
+	if c.WindowSlots == 0 {
+		c.WindowSlots = max64(c.Slots/4, 1000)
+	}
+	if c.StepSlots == 0 {
+		c.StepSlots = 1000
+	}
+}
+
+// scheduleConfig converts to the estimator core's form (Seed filled by
+// the session).
+func (c *SessionConfig) scheduleConfig(seed int64) badabing.ScheduleConfig {
+	return badabing.ScheduleConfig{
+		P:                c.P,
+		N:                c.Slots,
+		Improved:         !c.Basic,
+		ExtendedFraction: c.ExtendedFraction,
+		Seed:             seed,
+	}
+}
+
+// Validate rejects configurations the daemon must not crash on.
+func (c *SessionConfig) Validate() error {
+	if err := c.scheduleConfig(1).Validate(); err != nil {
+		return err
+	}
+	if c.SlotMicros < 0 {
+		return fmt.Errorf("fleet: negative slot width %dµs", c.SlotMicros)
+	}
+	if c.StepSlots < 0 || c.WindowSlots < 0 || c.StepDelayMicros < 0 {
+		return errors.New("fleet: negative step, window or delay")
+	}
+	if _, err := scenarioOf(c.Scenario); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Totals are the registry's lifetime aggregate counters, monotone across
+// session deletion (the /metrics counters).
+type Totals struct {
+	SessionsCreated  int64
+	SessionsFinished int64
+	ProbesSent       int64
+	ProbesLost       int64
+	PacketsSent      int64
+	PacketsLost      int64
+	Experiments      int64
+}
+
+// Config parameterizes a Registry.
+type Config struct {
+	// MaxSessions caps registered (non-deleted) sessions. Default 256.
+	MaxSessions int
+	// MaxConcurrent bounds sessions measuring at once; further ones
+	// queue in Pending state. Default GOMAXPROCS. Ignored when Pool is
+	// set.
+	MaxConcurrent int
+	// Pool optionally shares an existing experiment engine.
+	Pool *runner.Pool
+}
+
+// Registry owns the sessions. All methods are safe for concurrent use.
+type Registry struct {
+	pool *runner.Pool
+	cfg  Config
+
+	rootCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    []string
+	nextID   int
+	closed   bool
+
+	totals struct {
+		sessionsCreated  atomic.Int64
+		sessionsFinished atomic.Int64
+		probesSent       atomic.Int64
+		probesLost       atomic.Int64
+		packetsSent      atomic.Int64
+		packetsLost      atomic.Int64
+		experiments      atomic.Int64
+	}
+
+	// runOverride substitutes the session body in tests (panic
+	// isolation, lifecycle) without simulating a path.
+	runOverride func(ctx context.Context, s *Session, seed int64) error
+}
+
+// NewRegistry builds a registry with its own worker pool.
+func NewRegistry(cfg Config) *Registry {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 256
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = runner.New(runner.Config{Workers: cfg.MaxConcurrent})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Registry{
+		pool:     pool,
+		cfg:      cfg,
+		rootCtx:  ctx,
+		cancel:   cancel,
+		sessions: make(map[string]*Session),
+	}
+}
+
+// ErrRegistryFull is returned by Create when MaxSessions is reached.
+var ErrRegistryFull = errors.New("fleet: session registry full")
+
+// ErrNotFound is returned for unknown session ids.
+var ErrNotFound = errors.New("fleet: session not found")
+
+// ErrNotTerminal is returned when deleting a session still in flight.
+var ErrNotTerminal = errors.New("fleet: session not terminal; stop it first")
+
+// Create validates the config, registers a session and starts it on the
+// pool. The session queues in Pending state until a worker slot frees.
+func (r *Registry) Create(cfg SessionConfig) (*Session, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, errors.New("fleet: registry closed")
+	}
+	if len(r.sessions) >= r.cfg.MaxSessions {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d registered)", ErrRegistryFull, len(r.sessions))
+	}
+	r.nextID++
+	id := fmt.Sprintf("s%04d", r.nextID)
+	if cfg.Name == "" {
+		cfg.Name = id
+	}
+	ctx, cancel := context.WithCancel(r.rootCtx)
+	s := &Session{
+		ID:      id,
+		cfg:     cfg,
+		reg:     r,
+		cancel:  cancel,
+		created: time.Now(),
+	}
+	s.snap.LastSlot = -1
+	r.sessions[id] = s
+	r.order = append(r.order, id)
+	r.wg.Add(1)
+	r.mu.Unlock()
+	r.totals.sessionsCreated.Add(1)
+
+	run := r.runOverride
+	if run == nil {
+		run = runSimPath
+	}
+	job := r.pool.Start(ctx, []runner.Cell{{
+		Key: "fleet/" + id,
+		Run: func(ctx context.Context, seed int64) (v any, err error) {
+			// Panic isolation: a crashing session must fail alone,
+			// not take the daemon down.
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("fleet: session %s panicked: %v", id, p)
+				}
+			}()
+			s.setRunning()
+			return nil, run(ctx, s, seed)
+		},
+	}})
+	go func() {
+		defer r.wg.Done()
+		results, _, _ := job.Wait()
+		var err error
+		if len(results) > 0 {
+			err = results[0].Err
+		}
+		s.finish(err)
+		r.totals.sessionsFinished.Add(1)
+	}()
+	return s, nil
+}
+
+// Get returns a session by id.
+func (r *Registry) Get(id string) (*Session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// List returns all registered sessions in creation order.
+func (r *Registry) List() []*Session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Session, 0, len(r.sessions))
+	for _, id := range r.order {
+		if s, ok := r.sessions[id]; ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Stop cancels a session's context; the session transitions to Stopped
+// at its next harvest step (immediately if still Pending). Stopping a
+// terminal session is a no-op.
+func (r *Registry) Stop(id string) (*Session, error) {
+	s, err := r.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	s.cancel()
+	return s, nil
+}
+
+// Delete unregisters a terminal session. Running or pending sessions must
+// be stopped first (ErrNotTerminal).
+func (r *Registry) Delete(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if !s.State().Terminal() {
+		return ErrNotTerminal
+	}
+	delete(r.sessions, id)
+	for i, o := range r.order {
+		if o == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// StateCounts tallies sessions by state.
+func (r *Registry) StateCounts() map[State]int {
+	counts := make(map[State]int)
+	for _, s := range r.List() {
+		counts[s.State()]++
+	}
+	return counts
+}
+
+// Totals returns the lifetime aggregate counters.
+func (r *Registry) Totals() Totals {
+	return Totals{
+		SessionsCreated:  r.totals.sessionsCreated.Load(),
+		SessionsFinished: r.totals.sessionsFinished.Load(),
+		ProbesSent:       r.totals.probesSent.Load(),
+		ProbesLost:       r.totals.probesLost.Load(),
+		PacketsSent:      r.totals.packetsSent.Load(),
+		PacketsLost:      r.totals.packetsLost.Load(),
+		Experiments:      r.totals.experiments.Load(),
+	}
+}
+
+// Workers returns the concurrency bound.
+func (r *Registry) Workers() int { return r.pool.Workers() }
+
+// Close stops every session and waits for them to wind down. The
+// registry accepts no new sessions afterwards.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cancel()
+	r.wg.Wait()
+}
+
+// Session is one measurement in the fleet. Exported fields are immutable
+// after creation; everything else is read through accessors.
+type Session struct {
+	ID  string
+	cfg SessionConfig
+	reg *Registry
+
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    State
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	seed     int64
+
+	snap      badabing.StreamSnapshot
+	slotsDone int64
+	counters  SessionCounters
+}
+
+// SessionCounters are a session's probe-level tallies so far.
+type SessionCounters struct {
+	ProbesSent  int64 `json:"probes_sent"`
+	ProbesLost  int64 `json:"probes_lost"`
+	PacketsSent int64 `json:"packets_sent"`
+	PacketsLost int64 `json:"packets_lost"`
+	Experiments int64 `json:"experiments"`
+	Skipped     int64 `json:"skipped"`
+}
+
+// Config returns the session's (defaulted) configuration.
+func (s *Session) Config() SessionConfig { return s.cfg }
+
+// State returns the lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Err returns the failure cause for Failed sessions.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Snapshot returns the latest published estimator snapshot. Snapshots
+// appear mid-run, at every harvest step.
+func (s *Session) Snapshot() badabing.StreamSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}
+
+// Counters returns the probe-level tallies.
+func (s *Session) Counters() SessionCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// Stop cancels the session.
+func (s *Session) Stop() { s.cancel() }
+
+func (s *Session) setRunning() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == Pending {
+		s.state = Running
+		s.started = time.Now()
+	}
+}
+
+func (s *Session) setSeed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seed = seed
+}
+
+func (s *Session) finish(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state.Terminal() {
+		return
+	}
+	s.finished = time.Now()
+	switch {
+	case err == nil:
+		s.state = Done
+	case errors.Is(err, context.Canceled):
+		s.state = Stopped
+	default:
+		s.state = Failed
+		s.err = err
+	}
+}
+
+// publish stores a new snapshot and counter set, accumulating the deltas
+// into the registry's lifetime totals.
+func (s *Session) publish(snap badabing.StreamSnapshot, slotsDone int64, c SessionCounters) {
+	s.mu.Lock()
+	prev := s.counters
+	s.snap = snap
+	s.slotsDone = slotsDone
+	s.counters = c
+	s.mu.Unlock()
+	t := &s.reg.totals
+	t.probesSent.Add(c.ProbesSent - prev.ProbesSent)
+	t.probesLost.Add(c.ProbesLost - prev.ProbesLost)
+	t.packetsSent.Add(c.PacketsSent - prev.PacketsSent)
+	t.packetsLost.Add(c.PacketsLost - prev.PacketsLost)
+	t.experiments.Add(c.Experiments - prev.Experiments)
+}
+
+// View is the JSON shape of a session in the HTTP API.
+type View struct {
+	ID        string                  `json:"id"`
+	Name      string                  `json:"name"`
+	State     State                   `json:"state"`
+	Error     string                  `json:"error,omitempty"`
+	Config    SessionConfig           `json:"config"`
+	Seed      int64                   `json:"seed"`
+	Created   time.Time               `json:"created"`
+	Started   *time.Time              `json:"started,omitempty"`
+	Finished  *time.Time              `json:"finished,omitempty"`
+	SlotsDone int64                   `json:"slots_done"`
+	Counters  SessionCounters         `json:"counters"`
+	Snapshot  badabing.StreamSnapshot `json:"snapshot"`
+}
+
+// View snapshots the session for the API.
+func (s *Session) View() View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := View{
+		ID:        s.ID,
+		Name:      s.cfg.Name,
+		State:     s.state,
+		Config:    s.cfg,
+		Seed:      s.seed,
+		Created:   s.created,
+		SlotsDone: s.slotsDone,
+		Counters:  s.counters,
+		Snapshot:  s.snap,
+	}
+	if s.err != nil {
+		v.Error = s.err.Error()
+	}
+	if !s.started.IsZero() {
+		t := s.started
+		v.Started = &t
+	}
+	if !s.finished.IsZero() {
+		t := s.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

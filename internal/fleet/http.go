@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// NewHandler returns the daemon's HTTP API for a registry:
+//
+//	POST   /v1/sessions           create a session (JSON SessionConfig body)
+//	GET    /v1/sessions           list sessions
+//	GET    /v1/sessions/{id}      one session, config + counters + snapshot
+//	GET    /v1/sessions/{id}/snapshot   just the live estimate snapshot
+//	POST   /v1/sessions/{id}/stop cancel a session
+//	DELETE /v1/sessions/{id}      remove a terminal session
+//	GET    /metrics               Prometheus text exposition
+//	GET    /healthz               liveness
+//
+// All non-metrics responses are JSON; errors are {"error": "..."}.
+func NewHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
+		var cfg SessionConfig
+		dec := json.NewDecoder(req.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		s, err := r.Create(cfg)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrRegistryFull) {
+				status = http.StatusTooManyRequests
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, s.View())
+	})
+
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
+		sessions := r.List()
+		views := make([]View, len(sessions))
+		for i, s := range sessions {
+			views[i] = s.View()
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": views})
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, req *http.Request) {
+		s, err := r.Get(req.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.View())
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", func(w http.ResponseWriter, req *http.Request) {
+		s, err := r.Get(req.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":       s.ID,
+			"state":    s.State(),
+			"snapshot": s.Snapshot(),
+		})
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/stop", func(w http.ResponseWriter, req *http.Request) {
+		s, err := r.Stop(req.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.View())
+	})
+
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, req *http.Request) {
+		err := r.Delete(req.PathValue("id"))
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrNotTerminal):
+			writeError(w, http.StatusConflict, err)
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			w.WriteHeader(http.StatusNoContent)
+		}
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, r)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

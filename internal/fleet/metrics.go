@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics renders the registry's state in the Prometheus text
+// exposition format (version 0.0.4). It is hand-rolled — the repository
+// takes no dependencies — but emits well-formed families: HELP/TYPE
+// headers, escaped label values, one sample per line.
+func WriteMetrics(w io.Writer, r *Registry) {
+	t := r.Totals()
+	counts := r.StateCounts()
+
+	gauge(w, "badabingd_sessions_active", "Sessions currently measuring.",
+		sample{value: float64(counts[Running])})
+	gauge(w, "badabingd_sessions", "Registered sessions by lifecycle state.",
+		sample{labels: lbl("state", "pending"), value: float64(counts[Pending])},
+		sample{labels: lbl("state", "running"), value: float64(counts[Running])},
+		sample{labels: lbl("state", "done"), value: float64(counts[Done])},
+		sample{labels: lbl("state", "failed"), value: float64(counts[Failed])},
+		sample{labels: lbl("state", "stopped"), value: float64(counts[Stopped])},
+	)
+	gauge(w, "badabingd_queue_depth", "Sessions waiting for a worker slot.",
+		sample{labels: lbl("queue", "pending"), value: float64(counts[Pending])})
+	gauge(w, "badabingd_workers", "Concurrent session bound.",
+		sample{value: float64(r.Workers())})
+
+	counter(w, "badabingd_sessions_created_total", "Sessions ever created.", float64(t.SessionsCreated))
+	counter(w, "badabingd_sessions_finished_total", "Sessions ever finished (done, failed or stopped).", float64(t.SessionsFinished))
+	counter(w, "badabingd_probes_sent_total", "Probes sent across all sessions.", float64(t.ProbesSent))
+	counter(w, "badabingd_probes_lost_total", "Probes that lost at least one packet.", float64(t.ProbesLost))
+	counter(w, "badabingd_packets_sent_total", "Probe packets sent across all sessions.", float64(t.PacketsSent))
+	counter(w, "badabingd_packets_lost_total", "Probe packets lost across all sessions.", float64(t.PacketsLost))
+	counter(w, "badabingd_experiments_total", "Experiment outcomes fed to the estimators.", float64(t.Experiments))
+
+	var freq, dur, m []sample
+	for _, s := range r.List() {
+		snap := s.Snapshot()
+		labels := lbl("session", s.ID)
+		freq = append(freq, sample{labels: labels, value: snap.Total.Frequency})
+		if snap.Total.HasDuration {
+			dur = append(dur, sample{labels: labels, value: snap.Total.Duration})
+		}
+		m = append(m, sample{labels: labels, value: float64(snap.Total.M)})
+	}
+	gauge(w, "badabingd_session_loss_frequency", "Per-session loss-episode frequency estimate F̂.", freq...)
+	gauge(w, "badabingd_session_loss_duration_seconds", "Per-session mean loss-episode duration estimate D̂.", dur...)
+	gauge(w, "badabingd_session_experiments", "Per-session experiments observed.", m...)
+}
+
+type sample struct {
+	labels string
+	value  float64
+}
+
+// lbl renders a single-label set. %q provides exactly the exposition
+// format's escapes: backslash, double quote and newline.
+func lbl(k, v string) string {
+	return fmt.Sprintf(`{%s=%q}`, k, v)
+}
+
+func family(w io.Writer, name, kind, help string, samples []sample) {
+	if len(samples) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+	for _, s := range samples {
+		fmt.Fprintf(w, "%s%s %v\n", name, s.labels, s.value)
+	}
+}
+
+func gauge(w io.Writer, name, help string, samples ...sample) {
+	family(w, name, "gauge", help, samples)
+}
+
+func counter(w io.Writer, name, help string, value float64) {
+	family(w, name, "counter", help, []sample{{value: value}})
+}

@@ -1,0 +1,222 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"badabing/internal/badabing"
+	"badabing/internal/lab"
+	"badabing/internal/probe"
+	"badabing/internal/simnet"
+)
+
+// probeFlowID is the flow id reserved for measurement traffic on simulated
+// paths (cross-traffic ids are allocated well above it, as in the lab).
+const probeFlowID = 7
+
+// settle is how far behind virtual "now" a probe must be before its
+// observation is considered stable enough to harvest: it bounds path
+// delay (50 ms propagation + ≤100 ms queue on the testbed topology) plus
+// the marker's τ look-ahead with a wide margin.
+const settle = time.Second
+
+// pathBuilder constructs a simulated path for a session.
+type pathBuilder func(seed int64) (*simnet.Sim, *simnet.Dumbbell)
+
+// scenarioOf maps a scenario name to a path builder.
+func scenarioOf(name string) (pathBuilder, error) {
+	switch strings.ToLower(name) {
+	case "idle":
+		// A loss-free path: the testbed topology with no cross traffic.
+		return func(int64) (*simnet.Sim, *simnet.Dumbbell) {
+			s := simnet.New()
+			return s, simnet.NewDumbbell(s, simnet.DumbbellConfig{})
+		}, nil
+	case "tcp", "infinite-tcp":
+		return labScenario(lab.InfiniteTCP), nil
+	case "cbr":
+		return labScenario(lab.CBRUniform), nil
+	case "cbr-mixed":
+		return labScenario(lab.CBRMixed), nil
+	case "web":
+		return labScenario(lab.Web), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown scenario %q", name)
+	}
+}
+
+func labScenario(sc lab.Scenario) pathBuilder {
+	return func(seed int64) (*simnet.Sim, *simnet.Dumbbell) {
+		p := lab.NewPath(sc, lab.RunConfig{Seed: seed})
+		return p.Sim, p.D
+	}
+}
+
+// runSimPath is the session body for simulated paths: it owns a
+// discrete-event simulator, paces it forward in harvest steps, and after
+// each step re-marks the settled observations, feeds newly completed
+// experiments to the streaming estimator and publishes a snapshot.
+//
+// Mid-run snapshots are provisional: marking is retrospective (the
+// baseline delay and loss-time delay estimates refine as data arrives),
+// so an outcome's congestion bits are frozen when it is fed. The final
+// snapshot of a completed session is rebuilt from the full observation
+// set and is exactly what the batch pipeline would report.
+func runSimPath(ctx context.Context, s *Session, seed int64) error {
+	cfg := s.cfg
+	if cfg.Seed != 0 {
+		seed = cfg.Seed
+	}
+	s.setSeed(seed)
+
+	slot := time.Duration(cfg.SlotMicros) * time.Microsecond
+	plans, err := badabing.Schedule(cfg.scheduleConfig(seed))
+	if err != nil {
+		return err
+	}
+	build, err := scenarioOf(cfg.Scenario)
+	if err != nil {
+		return err
+	}
+	marker := badabing.RecommendedMarker(cfg.P, slot)
+	sim, d := build(seed + 1)
+	bb := probe.StartBadabing(sim, d, probeFlowID, probe.BadabingConfig{
+		Plans:         plans,
+		Slot:          slot,
+		Marker:        marker,
+		ExtendedPairs: cfg.ExtendedPairs,
+	})
+	stream, err := badabing.NewStream(badabing.StreamConfig{
+		Slot:          slot,
+		WindowSlots:   cfg.WindowSlots,
+		ExtendedPairs: cfg.ExtendedPairs,
+	})
+	if err != nil {
+		return err
+	}
+
+	h := &harvester{s: s, cfg: &cfg, plans: plans, slot: slot, marker: marker, stream: stream}
+	horizon := time.Duration(cfg.Slots) * slot
+	step := time.Duration(cfg.StepSlots) * slot
+	stepDelay := time.Duration(cfg.StepDelayMicros) * time.Microsecond
+	for t := step; ; t += step {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := t >= horizon+settle
+		if end {
+			t = horizon + settle
+		}
+		sim.Run(t)
+		h.harvest(bb, t, end)
+		if end {
+			return nil
+		}
+		if stepDelay > 0 {
+			timer := time.NewTimer(stepDelay)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
+		}
+	}
+}
+
+// harvester carries the incremental estimation state across steps.
+type harvester struct {
+	s      *Session
+	cfg    *SessionConfig
+	plans  []badabing.Plan
+	slot   time.Duration
+	marker badabing.MarkerConfig
+	stream *badabing.Stream
+	fed    int // plans[:fed] have been fed to the stream
+	skip   int64
+}
+
+// harvest re-marks the settled observations and feeds newly completed
+// experiments. At the end of the run it rebuilds the stream from the full
+// observation set so the published result matches batch estimation.
+func (h *harvester) harvest(bb *probe.Badabing, now time.Duration, end bool) {
+	obs := bb.Observations() // in send order
+	cutoff := now - settle
+	if end {
+		cutoff = now
+	}
+	settled := obs
+	for i, o := range obs {
+		if o.T > cutoff {
+			settled = obs[:i]
+			break
+		}
+	}
+
+	var c SessionCounters
+	for _, o := range settled {
+		c.ProbesSent++
+		c.PacketsSent += int64(o.SentPackets)
+		c.PacketsLost += int64(o.LostPackets)
+		if o.LostPackets > 0 {
+			c.ProbesLost++
+		}
+	}
+
+	marked := badabing.Mark(settled, h.marker)
+	bySlot := make(map[int64]bool, len(settled))
+	for i, o := range settled {
+		bySlot[o.Slot] = bySlot[o.Slot] || marked[i]
+	}
+
+	if end {
+		// Final pass: re-mark everything and rebuild, discarding the
+		// provisional mid-run marks.
+		h.stream, _ = badabing.NewStream(badabing.StreamConfig{
+			Slot:          h.slot,
+			WindowSlots:   h.cfg.WindowSlots,
+			ExtendedPairs: h.cfg.ExtendedPairs,
+		})
+		h.fed = 0
+		h.skip = 0
+	}
+	// Feed experiments whose probes have all settled. An extra marker-τ
+	// guard keeps a loss arriving just after the cutoff from changing a
+	// mark we already froze.
+	feedCutoff := cutoff - h.marker.Tau - h.slot
+	if end {
+		feedCutoff = cutoff
+	}
+	for h.fed < len(h.plans) {
+		pl := h.plans[h.fed]
+		if time.Duration(pl.Slot+int64(pl.Probes)-1)*h.slot > feedCutoff {
+			break
+		}
+		bits := make([]bool, 0, pl.Probes)
+		ok := true
+		for j := 0; j < pl.Probes; j++ {
+			b, present := bySlot[pl.Slot+int64(j)]
+			if !present {
+				ok = false
+				break
+			}
+			bits = append(bits, b)
+		}
+		if ok {
+			h.stream.Observe(pl.Slot, bits)
+		} else {
+			h.skip++
+		}
+		h.fed++
+	}
+	c.Experiments = int64(h.stream.M())
+	c.Skipped = h.skip
+
+	slotsDone := int64(now / h.slot)
+	if slotsDone > h.cfg.Slots {
+		slotsDone = h.cfg.Slots
+	}
+	h.s.publish(h.stream.Snapshot(), slotsDone, c)
+}

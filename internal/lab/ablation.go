@@ -96,7 +96,7 @@ func AblationPlacement(cfg RunConfig) AblationResult {
 		{
 			key: fmt.Sprintf("ablation/placement/bernoulli/seed=%d/h=%v", cfg.Seed, cfg.Horizon),
 			run: func() AblationRow {
-				r := runWithPlans(cfg, badabing.Schedule(badabing.ScheduleConfig{
+				r := runWithPlans(cfg, badabing.MustSchedule(badabing.ScheduleConfig{
 					P: p, N: n, Seed: cfg.Seed + 100,
 				}), marker, slot, 3)
 				r.Variant = "per-slot Bernoulli (BADABING)"
@@ -140,7 +140,7 @@ func AblationMarking(cfg RunConfig) AblationResult {
 			run: func() AblationRow {
 				// Both variants mark the same schedule; each cell
 				// rebuilds it so the cells stay self-contained.
-				plans := badabing.Schedule(badabing.ScheduleConfig{
+				plans := badabing.MustSchedule(badabing.ScheduleConfig{
 					P: p, N: int64(cfg.Horizon / slot), Seed: cfg.Seed + 100,
 				})
 				r := runWithPlans(cfg, plans, v.marker, slot, 3)
@@ -166,7 +166,7 @@ func AblationEstimator(cfg RunConfig) AblationResult {
 		key: fmt.Sprintf("ablation/estimator/seed=%d/h=%v", cfg.Seed, cfg.Horizon),
 		run: func() []AblationRow {
 			path := NewPath(CBRUniform, cfg)
-			plans := badabing.Schedule(badabing.ScheduleConfig{
+			plans := badabing.MustSchedule(badabing.ScheduleConfig{
 				P: p, N: int64(cfg.Horizon / slot), Improved: true, Seed: cfg.Seed + 100,
 			})
 			bb := probe.StartBadabing(path.Sim, path.D, probeFlowID, probe.BadabingConfig{
@@ -205,7 +205,7 @@ func AblationSlot(cfg RunConfig) AblationResult {
 			key: fmt.Sprintf("ablation/slot=%v/seed=%d/h=%v", slot, cfg.Seed, cfg.Horizon),
 			run: func() AblationRow {
 				const p = 0.3
-				plans := badabing.Schedule(badabing.ScheduleConfig{
+				plans := badabing.MustSchedule(badabing.ScheduleConfig{
 					P: p, N: int64(cfg.Horizon / slot), Seed: cfg.Seed + 100,
 				})
 				row := runWithPlans(cfg, plans, badabing.RecommendedMarker(p, slot), slot, 3)
@@ -231,7 +231,7 @@ func AblationProbeSize(cfg RunConfig) AblationResult {
 		cells = append(cells, cell[AblationRow]{
 			key: fmt.Sprintf("ablation/probesize=%d/seed=%d/h=%v", bunch, cfg.Seed, cfg.Horizon),
 			run: func() AblationRow {
-				plans := badabing.Schedule(badabing.ScheduleConfig{
+				plans := badabing.MustSchedule(badabing.ScheduleConfig{
 					P: p, N: int64(cfg.Horizon / slot), Seed: cfg.Seed + 100,
 				})
 				row := runWithPlans(cfg, plans, badabing.RecommendedMarker(p, slot), slot, bunch)
@@ -259,7 +259,7 @@ func AblationExtendedPairs(cfg RunConfig) AblationResult {
 			key: fmt.Sprintf("ablation/pairs=%v/seed=%d/h=%v", pairs, cfg.Seed, cfg.Horizon),
 			run: func() AblationRow {
 				path := NewPath(CBRUniform, cfg)
-				plans := badabing.Schedule(badabing.ScheduleConfig{
+				plans := badabing.MustSchedule(badabing.ScheduleConfig{
 					P: p, N: int64(cfg.Horizon / slot), Improved: true, Seed: cfg.Seed + 100,
 				})
 				bb := probe.StartBadabing(path.Sim, path.D, probeFlowID, probe.BadabingConfig{

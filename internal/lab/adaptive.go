@@ -152,7 +152,7 @@ func runAdaptiveStrategy(path adaptivePath, strat string, cfg RunConfig) Adaptiv
 	if strat == "fixed p=0.1" {
 		pFixed = 0.1
 	}
-	plans := badabing.Schedule(badabing.ScheduleConfig{
+	plans := badabing.MustSchedule(badabing.ScheduleConfig{
 		P: pFixed, N: int64(cfg.Horizon / slot), Improved: true, Seed: cfg.Seed + 500,
 	})
 	bb := probe.StartBadabing(sim, d, probeFlowID, probe.BadabingConfig{

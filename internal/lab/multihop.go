@@ -79,7 +79,7 @@ func multiHopRun(hops int, cfg RunConfig) MultiHopResult {
 	}
 
 	slot := badabing.DefaultSlot
-	plans := badabing.Schedule(badabing.ScheduleConfig{
+	plans := badabing.MustSchedule(badabing.ScheduleConfig{
 		P: 0.3, N: int64(cfg.Horizon / slot), Improved: true, Seed: cfg.Seed + 99,
 	})
 	bb := probe.StartBadabingAt(sim, ch.Entry(), ch.FwdDemux, probeFlowID, probe.BadabingConfig{

@@ -74,7 +74,7 @@ func redRun(cfg RunConfig, useRED bool) REDRow {
 	traffic.NewInfiniteTCP(sim, d, ids, 40)
 
 	slot := badabing.DefaultSlot
-	plans := badabing.Schedule(badabing.ScheduleConfig{
+	plans := badabing.MustSchedule(badabing.ScheduleConfig{
 		P: 0.3, N: int64(cfg.Horizon / slot), Improved: true, Seed: cfg.Seed + 99,
 	})
 	bb := probe.StartBadabing(sim, d, probeFlowID, probe.BadabingConfig{

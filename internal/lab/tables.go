@@ -155,7 +155,7 @@ func badabingRun(sc Scenario, cfg RunConfig, p float64, marker *badabing.MarkerC
 	path := NewPath(sc, cfg)
 	slot := badabing.DefaultSlot
 	n := int64(cfg.Horizon / slot)
-	plans := badabing.Schedule(badabing.ScheduleConfig{
+	plans := badabing.MustSchedule(badabing.ScheduleConfig{
 		P: p, N: n, Improved: improved, Seed: cfg.Seed + 100,
 	})
 	mk := badabing.RecommendedMarker(p, slot)

@@ -176,7 +176,7 @@ func TestBadabingEstimatesCBREpisodes(t *testing.T) {
 	)
 	slot := badabing.DefaultSlot
 	n := int64(horizon / slot)
-	plans := badabing.Schedule(badabing.ScheduleConfig{P: p, N: n, Improved: true, Seed: 4})
+	plans := badabing.MustSchedule(badabing.ScheduleConfig{P: p, N: n, Improved: true, Seed: 4})
 	bb := StartBadabing(s, d, 7, BadabingConfig{
 		Plans:  plans,
 		Marker: badabing.RecommendedMarker(p, slot),
@@ -232,7 +232,7 @@ func TestBadabingBeatsZingAtSameLoad(t *testing.T) {
 			rep := z.Report()
 			return rep.Duration.Mean(), mon.Truth(horizon, slot).Duration.Mean()
 		}
-		plans := badabing.Schedule(badabing.ScheduleConfig{
+		plans := badabing.MustSchedule(badabing.ScheduleConfig{
 			P: 0.3, N: int64(horizon / slot), Improved: false, Seed: 6})
 		bb := StartBadabing(s, d, 7, BadabingConfig{
 			Plans:  plans,

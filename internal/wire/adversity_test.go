@@ -1,0 +1,231 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"badabing/internal/badabing"
+)
+
+// Control-channel adversity: the query/reply exchange rides the same UDP
+// socket as probe traffic, so it must survive duplicated, reordered and
+// truncated datagrams without wedging the sender or the collector.
+
+// adversarialResponder answers every incoming datagram with a fixed
+// sequence of canned payloads, regardless of content.
+func adversarialResponder(t *testing.T, payloads [][]byte) string {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	go func() {
+		buf := make([]byte, 65536)
+		for {
+			_, addr, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			for _, p := range payloads {
+				pc.WriteTo(p, addr)
+			}
+		}
+	}()
+	return pc.LocalAddr().String()
+}
+
+func mustEncodeReply(t *testing.T, r ControlReply) []byte {
+	t.Helper()
+	buf, err := encodeReply(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestQuerySkipsStaleAndDuplicateReplies: replies for earlier rounds and
+// duplicates of them arrive first; Query must keep reading until the
+// reply for its expID shows up.
+func TestQuerySkipsStaleAndDuplicateReplies(t *testing.T) {
+	stale := mustEncodeReply(t, ControlReply{ExpID: 41, Found: true})
+	good := mustEncodeReply(t, ControlReply{ExpID: 42, Found: true,
+		Counts: badabing.Counts{M: 9, Z: 2, C2: [4]int{3, 1, 1, 4}}})
+	addr := adversarialResponder(t, [][]byte{stale, stale, good, good})
+	conn := dial(t, addr)
+
+	reply, err := Query(conn, 42, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.ExpID != 42 || reply.Counts.M != 9 {
+		t.Fatalf("wrong reply selected: %+v", reply)
+	}
+}
+
+// TestQuerySkipsNonReplyNoise: probe reflections and truncated frames
+// (shorter than the reply header, or with a foreign magic) are not
+// replies and must be skipped silently.
+func TestQuerySkipsNonReplyNoise(t *testing.T) {
+	probe := make([]byte, 100)
+	h := Header{P: 0.3, N: 50, SlotWidth: 5 * time.Millisecond}
+	h.Marshal(probe)
+	good := mustEncodeReply(t, ControlReply{ExpID: 7, Found: true,
+		Counts: badabing.Counts{M: 4}})
+	addr := adversarialResponder(t, [][]byte{
+		probe,                // a reflected probe packet
+		{},                   // empty datagram
+		good[:4],             // reply truncated inside the magic
+		good[:replyHeader-1], // truncated just short of the header
+		marshalQuery(7),      // our own query echoed back
+		good,
+	})
+	conn := dial(t, addr)
+
+	reply, err := Query(conn, 7, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Counts.M != 4 {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+// TestQueryTruncatedReplyBody: a datagram framed as a reply whose JSON
+// body was cut mid-flight is "for us but broken" — Query must fail fast
+// with a decode error rather than hang until the deadline.
+func TestQueryTruncatedReplyBody(t *testing.T) {
+	good := mustEncodeReply(t, ControlReply{ExpID: 9, Found: true})
+	addr := adversarialResponder(t, [][]byte{good[:len(good)-5]})
+	conn := dial(t, addr)
+
+	start := time.Now()
+	_, err := Query(conn, 9, 5*time.Second)
+	if err == nil {
+		t.Fatal("truncated reply body accepted")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("took %v: waited for deadline instead of failing on decode", elapsed)
+	}
+}
+
+// TestCollectorSurvivesMalformedQueries: garbage, truncated and
+// wrong-version queries must neither crash the collector nor elicit a
+// reply; a well-formed query afterwards still works.
+func TestCollectorSurvivesMalformedQueries(t *testing.T) {
+	col, addr := startCollector(t)
+	col.SetMarker(badabing.MarkerConfig{})
+	conn := dial(t, addr)
+
+	if _, err := Send(context.Background(), conn, SenderConfig{
+		ExpID: 55, P: 0.5, N: 100, Seed: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	wrongVersion := marshalQuery(55)
+	wrongVersion[4] = Version + 1
+	for _, junk := range [][]byte{
+		marshalQuery(55)[:querySize-1], // truncated query
+		wrongVersion,
+		{0x42, 0x42, 0x52, 0x51}, // magic alone
+		make([]byte, querySize),  // all zeros
+	} {
+		if _, err := conn.Write(junk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// None of those may produce a reply.
+	conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	buf := make([]byte, 65536)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			break // deadline: silence, as required
+		}
+		if _, ok, _ := parseReply(buf[:n]); ok {
+			t.Fatal("collector answered a malformed query")
+		}
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	reply, err := Query(conn, 55, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Found || reply.Counts.M == 0 {
+		t.Fatalf("collector lost the session after junk queries: %+v", reply)
+	}
+}
+
+// TestCollectorDuplicatedQueries: retransmitted queries are answered
+// idempotently — every duplicate gets the same counts.
+func TestCollectorDuplicatedQueries(t *testing.T) {
+	col, addr := startCollector(t)
+	col.SetMarker(badabing.MarkerConfig{})
+	conn := dial(t, addr)
+
+	if _, err := Send(context.Background(), conn, SenderConfig{
+		ExpID: 66, P: 0.5, N: 100, Seed: 13,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	first, err := Query(conn, 66, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Query(conn, 66, 2*time.Second)
+		if err != nil {
+			t.Fatalf("duplicate query %d: %v", i, err)
+		}
+		if again != first {
+			t.Fatalf("duplicate query %d diverged:\nfirst %+v\nagain %+v", i, first, again)
+		}
+	}
+}
+
+// TestParseReplyTruncationSweep: every prefix of a valid reply must parse
+// without panicking, and each lands in exactly one of the three contract
+// outcomes (not-a-reply, broken reply, whole reply).
+func TestParseReplyTruncationSweep(t *testing.T) {
+	good := mustEncodeReply(t, ControlReply{ExpID: 77, Found: true,
+		Counts: badabing.Counts{M: 5, Z: 1, C2: [4]int{2, 1, 1, 1}, C3: [8]int{3, 1, 0, 1}}})
+	for n := 0; n <= len(good); n++ {
+		reply, ok, err := parseReply(good[:n])
+		switch {
+		case n < replyHeader:
+			if ok || err != nil {
+				t.Fatalf("prefix %d: ok=%v err=%v, want silent skip", n, ok, err)
+			}
+		case n < len(good):
+			if !ok || err == nil {
+				t.Fatalf("prefix %d: ok=%v err=%v, want framed-but-broken", n, ok, err)
+			}
+		default:
+			if !ok || err != nil || reply.ExpID != 77 {
+				t.Fatalf("full reply: ok=%v err=%v reply=%+v", ok, err, reply)
+			}
+		}
+	}
+}
+
+// TestParseQueryTruncationSweep mirrors the sweep for the fixed-size
+// query frame.
+func TestParseQueryTruncationSweep(t *testing.T) {
+	good := marshalQuery(123456789)
+	for n := 0; n <= len(good); n++ {
+		id, ok := parseQuery(good[:n])
+		if n < querySize && ok {
+			t.Fatalf("prefix %d parsed as query", n)
+		}
+		if n == querySize && (!ok || id != 123456789) {
+			t.Fatalf("full query: ok=%v id=%d", ok, id)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sort"
 	"sync"
@@ -188,9 +189,14 @@ func (c *Collector) assembleRecorder(expID uint64, marker badabing.MarkerConfig)
 	stats := SessionStats{Packets: s.packets, ProbesSeen: len(s.probes)}
 	c.mu.Unlock()
 
-	plans := badabing.Schedule(badabing.ScheduleConfig{
+	// Headers arrive off the network: an invalid embedded schedule
+	// config must surface as an error, never crash the collector.
+	plans, err := badabing.Schedule(badabing.ScheduleConfig{
 		P: params.P, N: params.N, Improved: params.Improved, Seed: params.Seed,
 	})
+	if err != nil {
+		return nil, stats, fmt.Errorf("wire: session %d: %w", expID, err)
+	}
 	seen := make(map[int64]bool)
 	var slots []int64
 	for _, pl := range plans {
@@ -246,6 +252,46 @@ func (c *Collector) assembleRecorder(expID uint64, marker badabing.MarkerConfig)
 	rec.Acc.Slot = params.SlotWidth
 	stats.Skipped = badabing.Assemble(rec, plans, bySlot)
 	return rec, stats, nil
+}
+
+// Snapshot returns a session's marked outcome counts and reception stats
+// without disturbing it: the session keeps accumulating packets, so a
+// long-running service can poll live sessions for streaming estimates.
+// It is the exported twin of the control channel's reply path.
+func (c *Collector) Snapshot(expID uint64, marker badabing.MarkerConfig) (badabing.Counts, SessionStats, error) {
+	return c.reportCounts(expID, marker)
+}
+
+// SessionHandle binds a collector, one ExpID and the marking parameters,
+// so a session registry can poll or report on a session without carrying
+// the triple around.
+type SessionHandle struct {
+	c      *Collector
+	expID  uint64
+	marker badabing.MarkerConfig
+}
+
+// Handle returns a reusable handle for one session.
+func (c *Collector) Handle(expID uint64, marker badabing.MarkerConfig) SessionHandle {
+	return SessionHandle{c: c, expID: expID, marker: marker}
+}
+
+// ExpID returns the session id the handle is bound to.
+func (h SessionHandle) ExpID() uint64 { return h.expID }
+
+// Counts snapshots the session's outcome tallies mid-run.
+func (h SessionHandle) Counts() (badabing.Counts, SessionStats, error) {
+	return h.c.Snapshot(h.expID, h.marker)
+}
+
+// Report produces the session's current estimates.
+func (h SessionHandle) Report() (badabing.Report, SessionStats, error) {
+	return h.c.Report(h.expID, h.marker)
+}
+
+// Delays returns the session's one-way-delay statistics.
+func (h SessionHandle) Delays() (DelayStats, error) {
+	return h.c.Delays(h.expID)
 }
 
 // DelayStats summarizes the raw one-way delays of a session's received

@@ -53,7 +53,7 @@ func TestCollectorFullyLostProbesCongested(t *testing.T) {
 		ExpID: 9, PktsPerProbe: 2, P: 0.5, N: 100,
 		SlotWidth: badabing.DefaultSlot, Seed: 17, Start: 0,
 	}
-	plans := badabing.Schedule(badabing.ScheduleConfig{P: 0.5, N: 100, Seed: 17})
+	plans := badabing.MustSchedule(badabing.ScheduleConfig{P: 0.5, N: 100, Seed: 17})
 	if len(plans) < 2 {
 		t.Fatal("test schedule too small")
 	}

@@ -47,6 +47,14 @@ func FuzzControlQuery(f *testing.F) {
 	f.Add(marshalQuery(^uint64(0)))
 	f.Add([]byte{})
 	f.Add([]byte{0x42, 0x42, 0x52, 0x51}) // magic alone, truncated
+	f.Add(marshalQuery(7)[:querySize-1])  // one byte short of a query
+	f.Add(append(marshalQuery(7), 0xFF))  // trailing garbage is still a query
+	wrongVer := marshalQuery(7)
+	wrongVer[4] = Version + 1
+	f.Add(wrongVer) // future protocol version must be rejected
+	asReply := marshalQuery(9)
+	asReply[3] = 0x50 // reply magic in a query-sized frame
+	f.Add(asReply)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		expID, ok := parseQuery(data)
 		if !ok {
@@ -70,8 +78,14 @@ func FuzzControlReply(f *testing.F) {
 	f.Add(good)
 	f.Add(good[:replyHeader]) // framed but empty body
 	f.Add([]byte{})
-	f.Add([]byte{0x42, 0x42, 0x52, 0x50, Version, 0, 0, 0, '{'}) // framed, corrupt JSON
-	f.Add(marshalQuery(7))                                       // a query is not a reply
+	f.Add([]byte{0x42, 0x42, 0x52, 0x50, Version, 0, 0, 0, '{'})           // framed, corrupt JSON
+	f.Add(marshalQuery(7))                                                 // a query is not a reply
+	f.Add(good[:len(good)-1])                                              // body truncated mid-JSON
+	f.Add(good[:replyHeader-1])                                            // truncated inside the header
+	f.Add(append(append([]byte{}, good...), good...))                      // two replies glued together
+	f.Add([]byte("\x42\x42\x52\x50\x01\x00\x00\x00{\"exp_id\":-1}"))       // out-of-range field
+	f.Add([]byte("\x42\x42\x52\x50\x01\x00\x00\x00{\"exp_id\":7}garbage")) // JSON then trailing junk
+	f.Add([]byte("\x42\x42\x52\x50\x01\x00\x00\x00null"))                  // body is JSON null
 	f.Fuzz(func(t *testing.T, data []byte) {
 		reply, ok, err := parseReply(data)
 		if !ok || err != nil {

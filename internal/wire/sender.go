@@ -75,9 +75,12 @@ func Send(ctx context.Context, conn net.Conn, cfg SenderConfig) (SendStats, erro
 	if err := cfg.applyDefaults(); err != nil {
 		return st, err
 	}
-	plans := badabing.Schedule(badabing.ScheduleConfig{
+	plans, err := badabing.Schedule(badabing.ScheduleConfig{
 		P: cfg.P, N: cfg.N, Improved: cfg.Improved, Seed: cfg.Seed,
 	})
+	if err != nil {
+		return st, err
+	}
 	st.Experiments = len(plans)
 
 	// Deduplicate overlapping experiments' slots, preserving order.
