@@ -17,13 +17,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/wire/... ./internal/fleet/... ./cmd/badabingd/... .
+	$(GO) test -race ./internal/runner/... ./internal/wire/... ./internal/session/... ./internal/fleet/... ./cmd/badabingd/... .
 
 # Fast pre-push gate: static checks plus the race-sensitive packages.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/fleet/... ./internal/runner/...
+	$(GO) test -race -short ./internal/fleet/... ./internal/session/... ./internal/wire/... ./internal/runner/...
 
 # Shortened-horizon benchmarks: one per paper table/figure plus ablations.
 bench:

@@ -17,18 +17,22 @@ import (
 	"badabing/internal/lab"
 )
 
-// benchHorizon is the per-run measurement length for benchmarks.
-func benchHorizon(def time.Duration) time.Duration {
+// benchHorizon is the per-run measurement length for benchmarks. An
+// unparsable override fails the benchmark rather than silently running at
+// the default horizon, which would report numbers for the wrong scale.
+func benchHorizon(b *testing.B, def time.Duration) time.Duration {
 	if s := os.Getenv("BADABING_BENCH_HORIZON"); s != "" {
-		if d, err := time.ParseDuration(s); err == nil {
-			return d
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			b.Fatalf("invalid BADABING_BENCH_HORIZON %q: %v (want a Go duration like 90s or 2m)", s, err)
 		}
+		return d
 	}
 	return def
 }
 
-func cfg(def time.Duration) lab.RunConfig {
-	return lab.RunConfig{Horizon: benchHorizon(def), Seed: 1}
+func cfg(b *testing.B, def time.Duration) lab.RunConfig {
+	return lab.RunConfig{Horizon: benchHorizon(b, def), Seed: 1}
 }
 
 // reportRow emits estimate-vs-truth metrics for a tool row.
@@ -45,7 +49,7 @@ func reportLoss(b *testing.B, name string, est, truth float64) {
 
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.Table1(cfg(120 * time.Second))
+		res := lab.Table1(cfg(b, 120 * time.Second))
 		truth := res.Rows[0]
 		reportLoss(b, "zing10hz-freq", res.Rows[1].Frequency, truth.Frequency)
 		reportLoss(b, "zing20hz-freq", res.Rows[2].Frequency, truth.Frequency)
@@ -54,7 +58,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.Table2(cfg(180 * time.Second))
+		res := lab.Table2(cfg(b, 180 * time.Second))
 		truth := res.Rows[0]
 		reportLoss(b, "zing10hz-freq", res.Rows[1].Frequency, truth.Frequency)
 	}
@@ -62,7 +66,7 @@ func BenchmarkTable2(b *testing.B) {
 
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.Table3(cfg(120 * time.Second))
+		res := lab.Table3(cfg(b, 120 * time.Second))
 		truth := res.Rows[0]
 		reportLoss(b, "zing10hz-freq", res.Rows[1].Frequency, truth.Frequency)
 	}
@@ -71,7 +75,7 @@ func BenchmarkTable3(b *testing.B) {
 func benchSweep(b *testing.B, run func(lab.RunConfig) lab.SweepTable, horizon time.Duration) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res := run(cfg(horizon))
+		res := run(cfg(b, horizon))
 		var freqErr, durErr float64
 		n := 0
 		for _, r := range res.Rows {
@@ -103,7 +107,7 @@ func BenchmarkTable6(b *testing.B) { benchSweep(b, lab.Table6, 120*time.Second) 
 
 func BenchmarkTable7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.Table7(cfg(90 * time.Second))
+		res := lab.Table7(cfg(b, 90 * time.Second))
 		r := res.Rows[len(res.Rows)-1]
 		reportLoss(b, "freq", r.EstF, r.TrueF)
 		reportLoss(b, "dur", r.EstD, r.TrueD)
@@ -112,7 +116,7 @@ func BenchmarkTable7(b *testing.B) {
 
 func BenchmarkTable8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.Table8(cfg(150 * time.Second))
+		res := lab.Table8(cfg(b, 150 * time.Second))
 		// Row order: CBR badabing, CBR zing, web badabing, web zing.
 		reportLoss(b, "badabing-dur", res.Rows[0].EstD, res.Rows[0].TrueD)
 		reportLoss(b, "zing-dur", res.Rows[1].EstD, res.Rows[1].TrueD)
@@ -121,28 +125,28 @@ func BenchmarkTable8(b *testing.B) {
 
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.Figure4(cfg(20 * time.Second))
+		res := lab.Figure4(cfg(b, 20 * time.Second))
 		b.ReportMetric(float64(len(res.Episodes)), "episodes")
 	}
 }
 
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.Figure5(cfg(40 * time.Second))
+		res := lab.Figure5(cfg(b, 40 * time.Second))
 		b.ReportMetric(float64(len(res.Episodes)), "episodes")
 	}
 }
 
 func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.Figure6(cfg(60 * time.Second))
+		res := lab.Figure6(cfg(b, 60 * time.Second))
 		b.ReportMetric(float64(len(res.Episodes)), "episodes")
 	}
 }
 
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.Figure7(cfg(40 * time.Second))
+		res := lab.Figure7(cfg(b, 40 * time.Second))
 		first, last := res.Points[0], res.Points[len(res.Points)-1]
 		b.ReportMetric(first.PNoCBR, "cbr-miss-1pkt")
 		b.ReportMetric(last.PNoCBR, "cbr-miss-10pkt")
@@ -153,7 +157,7 @@ func BenchmarkFigure7(b *testing.B) {
 
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.Figure8(cfg(15 * time.Second))
+		res := lab.Figure8(cfg(b, 15 * time.Second))
 		v := res.Variants[2] // 10-packet trains
 		if v.ProbePkts > 0 {
 			b.ReportMetric(float64(v.ProbeLost)/float64(v.ProbePkts), "10pkt-probe-lossrate")
@@ -163,7 +167,7 @@ func BenchmarkFigure8(b *testing.B) {
 
 func BenchmarkFigure9a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.Figure9a(cfg(120 * time.Second))
+		res := lab.Figure9a(cfg(b, 120 * time.Second))
 		last := res.Rows[len(res.Rows)-1]
 		b.ReportMetric(last.EstF[0], "freq-alpha005")
 		b.ReportMetric(last.EstF[2], "freq-alpha020")
@@ -172,7 +176,7 @@ func BenchmarkFigure9a(b *testing.B) {
 
 func BenchmarkFigure9b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.Figure9b(cfg(120 * time.Second))
+		res := lab.Figure9b(cfg(b, 120 * time.Second))
 		last := res.Rows[len(res.Rows)-1]
 		b.ReportMetric(last.EstF[0], "freq-tau20")
 		b.ReportMetric(last.EstF[2], "freq-tau80")
@@ -181,7 +185,7 @@ func BenchmarkFigure9b(b *testing.B) {
 
 func BenchmarkAblationPlacement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.AblationPlacement(cfg(150 * time.Second))
+		res := lab.AblationPlacement(cfg(b, 150 * time.Second))
 		b.ReportMetric(lab.MeanFreqError(res.Rows[:1]), "bernoulli-freq-relerr")
 		b.ReportMetric(lab.MeanFreqError(res.Rows[1:]), "poisson-freq-relerr")
 	}
@@ -189,7 +193,7 @@ func BenchmarkAblationPlacement(b *testing.B) {
 
 func BenchmarkAblationMarking(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.AblationMarking(cfg(150 * time.Second))
+		res := lab.AblationMarking(cfg(b, 150 * time.Second))
 		b.ReportMetric(lab.MeanFreqError(res.Rows[:1]), "delay-freq-relerr")
 		b.ReportMetric(lab.MeanFreqError(res.Rows[1:]), "lossonly-freq-relerr")
 	}
@@ -197,7 +201,7 @@ func BenchmarkAblationMarking(b *testing.B) {
 
 func BenchmarkAblationEstimator(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.AblationEstimator(cfg(150 * time.Second))
+		res := lab.AblationEstimator(cfg(b, 150 * time.Second))
 		for _, r := range res.Rows {
 			if r.TrueD > 0 {
 				rel := r.EstD/r.TrueD - 1
@@ -216,7 +220,7 @@ func BenchmarkAblationEstimator(b *testing.B) {
 
 func BenchmarkAblationSlot(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.AblationSlot(cfg(120 * time.Second))
+		res := lab.AblationSlot(cfg(b, 120 * time.Second))
 		b.ReportMetric(res.Rows[0].EstD, "dur-1ms-slot")
 		b.ReportMetric(res.Rows[2].EstD, "dur-20ms-slot")
 	}
@@ -224,7 +228,7 @@ func BenchmarkAblationSlot(b *testing.B) {
 
 func BenchmarkAblationProbeSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.AblationProbeSize(cfg(150 * time.Second))
+		res := lab.AblationProbeSize(cfg(b, 150 * time.Second))
 		b.ReportMetric(res.Rows[0].EstF, "freq-1pkt")
 		b.ReportMetric(res.Rows[1].EstF, "freq-3pkt")
 	}
@@ -232,7 +236,7 @@ func BenchmarkAblationProbeSize(b *testing.B) {
 
 func BenchmarkAblationExtendedPairs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.AblationExtendedPairs(cfg(150 * time.Second))
+		res := lab.AblationExtendedPairs(cfg(b, 150 * time.Second))
 		for _, r := range res.Rows {
 			if r.TrueD > 0 {
 				rel := r.EstD/r.TrueD - 1
@@ -251,7 +255,7 @@ func BenchmarkAblationExtendedPairs(b *testing.B) {
 
 func BenchmarkMultiHop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.MultiHop(3, cfg(120*time.Second))
+		res := lab.MultiHop(3, cfg(b, 120*time.Second))
 		if res.TrueF > 0 {
 			rel := res.EstF/res.TrueF - 1
 			if rel < 0 {
@@ -264,7 +268,7 @@ func BenchmarkMultiHop(b *testing.B) {
 
 func BenchmarkSeedStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.SeedStudy(lab.CBRUniform, 0.5, []int64{1, 2, 3}, cfg(120*time.Second))
+		res := lab.SeedStudy(lab.CBRUniform, 0.5, []int64{1, 2, 3}, cfg(b, 120*time.Second))
 		b.ReportMetric(res.RelDurErr.Mean(), "dur-relerr-mean")
 		b.ReportMetric(res.RelDurErr.StdDev(), "dur-relerr-sd")
 	}
@@ -272,7 +276,7 @@ func BenchmarkSeedStudy(b *testing.B) {
 
 func BenchmarkREDStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := lab.RED(cfg(90 * time.Second))
+		res := lab.RED(cfg(b, 90 * time.Second))
 		for _, r := range res.Rows {
 			if r.TrueF > 0 {
 				rel := r.EstF/r.TrueF - 1

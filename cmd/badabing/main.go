@@ -8,10 +8,17 @@
 //	badabing send -target HOST:PORT [-p 0.3] [-n 180000] [-slot 5ms]
 //	              [-improved] [-packets 3] [-size 600] [-seed S] [-id ID]
 //	badabing collect -listen :8790 [-alpha 0.1] [-tau 30ms] [-every 10s]
+//	badabing measure -target HOST:PORT [-p 0.3] [-n 60000] [-slot 5ms] [-seed S]
+//	badabing reflect -listen :8790
 //
 // The collector re-derives each session's probe schedule from parameters
 // carried in the packets themselves, so no out-of-band coordination is
 // needed beyond the address.
+//
+// send/collect split the two ends of a one-way measurement across hosts;
+// measure/reflect are the round-trip deployment shape, where the far end
+// is a dumb echo service and the sender runs the whole session engine —
+// pacing, collection, marking and streaming estimation — locally.
 package main
 
 import (
@@ -27,6 +34,8 @@ import (
 	"time"
 
 	"badabing/internal/badabing"
+	"badabing/internal/session"
+	"badabing/internal/session/wiretransport"
 	"badabing/internal/wire"
 )
 
@@ -41,6 +50,10 @@ func main() {
 		err = runSend(os.Args[2:])
 	case "collect":
 		err = runCollect(os.Args[2:])
+	case "measure":
+		err = runMeasure(os.Args[2:])
+	case "reflect":
+		err = runReflect(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -55,7 +68,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   badabing send -target HOST:PORT [flags]
   badabing collect -listen ADDR [flags]
-run "badabing send -h" or "badabing collect -h" for flags`)
+  badabing measure -target HOST:PORT [flags]
+  badabing reflect -listen ADDR
+run "badabing <subcommand> -h" for flags`)
 }
 
 func runSend(args []string) error {
@@ -137,6 +152,92 @@ func runSend(args []string) error {
 	if st.MaxLag > *slot/2 {
 		fmt.Printf("warning: pacing lag exceeded slot/2 — this host cannot sustain %v slots (see paper §7)\n", *slot)
 	}
+	return nil
+}
+
+// runMeasure drives a full round-trip session against an echo endpoint:
+// the transport-neutral engine paces the schedule, collects the reflected
+// probes on the same socket and streams estimates as the session runs.
+func runMeasure(args []string) error {
+	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	target := fs.String("target", "", "echo endpoint HOST:PORT (required; see badabing reflect)")
+	p := fs.Float64("p", 0.3, "per-slot experiment probability")
+	n := fs.Int64("n", 60000, "number of slots in the session")
+	slot := fs.Duration("slot", badabing.DefaultSlot, "slot width")
+	improved := fs.Bool("improved", true, "use the improved (triple-probe) design")
+	seed := fs.Int64("seed", 0, "schedule seed (0 = derive from clock)")
+	id := fs.Uint64("id", uint64(time.Now().Unix()), "session id")
+	step := fs.Int64("step", 1000, "harvest cadence in slots")
+	window := fs.Int64("window", 0, "streaming window span in slots (0 = whole session)")
+	fs.Parse(args)
+	if *target == "" {
+		return fmt.Errorf("missing -target")
+	}
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	tr, err := wiretransport.Dial(*target, wire.SenderConfig{
+		ExpID: *id, P: *p, N: *n, Slot: *slot, Improved: *improved, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	fmt.Printf("session %d: p=%.2f N=%d slot=%v improved=%v → round trip via %s\n",
+		*id, *p, *n, *slot, *improved, *target)
+	res, err := session.Run(ctx, tr, session.Config{
+		P: *p, Slots: *n, Slot: *slot, Improved: *improved, Seed: *seed,
+		StepSlots: *step, WindowSlots: *window,
+	}, func(u session.Update) {
+		est := u.Snapshot.Total
+		fmt.Printf("  %6d/%d slots  F̂=%.5f", u.SlotsDone, *n, est.Frequency)
+		if est.HasDuration {
+			fmt.Printf("  D̂=%.4fs", est.Duration)
+		}
+		fmt.Printf("  (%s)\n", u.Counters)
+	})
+	if err != nil {
+		return err
+	}
+	est := res.Final.Snapshot.Total
+	fmt.Printf("done: %d probes, frequency %.5f", res.Probes, est.Frequency)
+	if est.HasDuration {
+		fmt.Printf(", duration %.4fs", est.Duration)
+	}
+	fmt.Println()
+	if lag := tr.SendStats().MaxLag; lag > *slot/2 {
+		fmt.Printf("warning: pacing lag %v exceeded slot/2 — this host cannot sustain %v slots (see paper §7)\n", lag, *slot)
+	}
+	return nil
+}
+
+// runReflect is the far end of measure: a dumb UDP echo service.
+func runReflect(args []string) error {
+	fs := flag.NewFlagSet("reflect", flag.ExitOnError)
+	listen := fs.String("listen", ":8790", "UDP address to listen on")
+	fs.Parse(args)
+
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		return err
+	}
+	refl := wire.NewReflector(conn)
+	defer refl.Close()
+	fmt.Printf("reflecting on %v\n", conn.LocalAddr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		refl.Close()
+	}()
+	refl.Run()
+	fmt.Printf("echoed %d packets\n", refl.Packets())
 	return nil
 }
 

@@ -12,9 +12,9 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"net"
 	"os"
 	"os/signal"
@@ -63,12 +63,6 @@ func runSend(args []string) error {
 	if *target == "" {
 		return fmt.Errorf("missing -target")
 	}
-	if *hz <= 0 {
-		return fmt.Errorf("rate must be positive")
-	}
-	if *size < wire.ZingHeaderSize {
-		return fmt.Errorf("size %d below header size %d", *size, wire.ZingHeaderSize)
-	}
 	conn, err := net.Dial("udp", *target)
 	if err != nil {
 		return err
@@ -77,34 +71,19 @@ func runSend(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if *seed == 0 {
-		*seed = time.Now().UnixNano()
-	}
-	rng := rand.New(rand.NewSource(*seed))
-	mean := time.Duration(float64(time.Second) / *hz)
-	end := time.Now().Add(*duration)
-	buf := make([]byte, *size)
-	var seq uint64
 	fmt.Printf("session %d: Poisson probes at %.1f Hz, %dB → %s for %v\n",
 		*id, *hz, *size, *target, *duration)
-	for time.Now().Before(end) {
-		gap := time.Duration(rng.ExpFloat64() * float64(mean))
-		select {
-		case <-ctx.Done():
-			fmt.Printf("interrupted after %d probes\n", seq)
-			return nil
-		case <-time.After(gap):
-		}
-		h := wire.ZingHeader{ExpID: *id, Seq: seq, SendTime: time.Now().UnixNano()}
-		if _, err := h.Marshal(buf); err != nil {
-			return err
-		}
-		if _, err := conn.Write(buf); err != nil {
-			return err
-		}
-		seq++
+	sent, err := wire.ZingSend(ctx, conn, wire.ZingSenderConfig{
+		ExpID: *id, Rate: *hz, Size: *size, Duration: *duration, Seed: *seed,
+	})
+	if errors.Is(err, context.Canceled) {
+		fmt.Printf("interrupted after %d probes\n", sent)
+		return nil
 	}
-	fmt.Printf("sent %d probes; pass -total %d to the collector for exact trailing-loss accounting\n", seq, seq)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sent %d probes; pass -total %d to the collector for exact trailing-loss accounting\n", sent, sent)
 	return nil
 }
 

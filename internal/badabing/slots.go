@@ -1,0 +1,41 @@
+package badabing
+
+import "time"
+
+// ProbeSlots flattens an experiment schedule into the deduplicated list of
+// slots to probe, in first-use order. Overlapping experiments share probes:
+// each slot appears once and its observation feeds every experiment covering
+// it. Every substrate (simulated prober, wire sender, wire collector) derives
+// its probe set through this one function so their views of a schedule can
+// never diverge.
+func ProbeSlots(plans []Plan) []int64 {
+	seen := make(map[int64]bool)
+	var slots []int64
+	for _, pl := range plans {
+		for j := 0; j < pl.Probes; j++ {
+			s := pl.Slot + int64(j)
+			if !seen[s] {
+				seen[s] = true
+				slots = append(slots, s)
+			}
+		}
+	}
+	return slots
+}
+
+// InheritOWD applies the §6.1 rule for fully lost probes in place: a probe
+// with no delay sample (every packet lost, OWD zero) inherits the delay of
+// the most recent probe that had one, as the best available queue-depth
+// estimate at its send time. Observations must be in send order.
+func InheritOWD(obs []ProbeObs) {
+	var last time.Duration
+	for i := range obs {
+		own := obs[i].OWD > 0
+		if !own && last > 0 {
+			obs[i].OWD = last
+		}
+		if own {
+			last = obs[i].OWD
+		}
+	}
+}

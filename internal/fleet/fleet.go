@@ -5,11 +5,10 @@
 // concurrency on the shared experiment engine (internal/runner),
 // per-session context cancellation and panic isolation.
 //
-// Sessions currently run against in-process simulated paths (the lab
-// testbed scenarios), which makes the whole service testable without
-// sockets; the session loop is transport-agnostic, so a wire-backed path
-// (sender + collector control channel) slots in behind the same
-// interface.
+// Sessions run on the transport-neutral session engine
+// (internal/session): simulated scenarios (the lab testbed workloads)
+// measure in-process virtual paths, and the "wire" scenario measures the
+// round trip to a real UDP echo endpoint through the same engine.
 package fleet
 
 import (
@@ -18,12 +17,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"badabing/internal/badabing"
 	"badabing/internal/runner"
+	"badabing/internal/session"
 )
 
 // State is a session's lifecycle position.
@@ -84,9 +85,12 @@ func (s *State) UnmarshalJSON(b []byte) error {
 type SessionConfig struct {
 	// Name is a free-form label; defaults to the session id.
 	Name string `json:"name,omitempty"`
-	// Scenario selects the simulated path workload: "idle", "tcp",
-	// "cbr" (default), "cbr-mixed" or "web".
+	// Scenario selects the path: a simulated workload — "idle", "tcp",
+	// "cbr" (default), "cbr-mixed" or "web" — or "wire" to measure the
+	// round trip to a real UDP echo endpoint (Target).
 	Scenario string `json:"scenario,omitempty"`
+	// Target is the "wire" scenario's echo endpoint, host:port.
+	Target string `json:"target,omitempty"`
 	// P is the per-slot experiment probability. Default 0.3.
 	P float64 `json:"p,omitempty"`
 	// Slots is the measurement horizon in slots. Default 60000 (5
@@ -164,6 +168,9 @@ func (c *SessionConfig) Validate() error {
 	}
 	if _, err := scenarioOf(c.Scenario); err != nil {
 		return err
+	}
+	if strings.ToLower(c.Scenario) == "wire" && c.Target == "" {
+		return errors.New("fleet: wire scenario requires a target")
 	}
 	return nil
 }
@@ -291,7 +298,7 @@ func (r *Registry) Create(cfg SessionConfig) (*Session, error) {
 
 	run := r.runOverride
 	if run == nil {
-		run = runSimPath
+		run = runSession
 	}
 	job := r.pool.Start(ctx, []runner.Cell{{
 		Key: "fleet/" + id,
@@ -433,6 +440,10 @@ type Session struct {
 	snap      badabing.StreamSnapshot
 	slotsDone int64
 	counters  SessionCounters
+
+	// tr is the live measurement substrate, kept so tests can reach the
+	// wire collector behind a running session.
+	tr session.Transport
 }
 
 // SessionCounters are a session's probe-level tallies so far.
@@ -493,6 +504,20 @@ func (s *Session) setSeed(seed int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seed = seed
+}
+
+func (s *Session) setTransport(tr session.Transport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tr = tr
+}
+
+// transport returns the session's measurement substrate (nil until the
+// session body has built it).
+func (s *Session) transport() session.Transport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr
 }
 
 func (s *Session) finish(err error) {

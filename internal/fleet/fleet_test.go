@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"badabing/internal/badabing"
+	"badabing/internal/lab"
 	"badabing/internal/probe"
+	"badabing/internal/session"
 )
 
 // postJSON posts a JSON body and decodes the JSON response into out.
@@ -396,17 +398,13 @@ func TestFinalSnapshotMatchesBatch(t *testing.T) {
 	full := s.Config() // defaults applied
 	slot := time.Duration(full.SlotMicros) * time.Microsecond
 	plans := badabing.MustSchedule(full.scheduleConfig(full.Seed))
-	build, err := scenarioOf(full.Scenario)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sim, d := build(full.Seed + 1)
+	sim, d := labScenario(lab.CBRUniform)(full.Seed + 1)
 	bb := probe.StartBadabing(sim, d, probeFlowID, probe.BadabingConfig{
 		Plans:  plans,
 		Slot:   slot,
 		Marker: badabing.RecommendedMarker(full.P, slot),
 	})
-	sim.Run(time.Duration(full.Slots)*slot + settle)
+	sim.Run(time.Duration(full.Slots)*slot + session.DefaultSettle)
 	acc := &badabing.Accumulator{Slot: slot}
 	acc.Merge(bb.Counts())
 	want := badabing.EstimatesOf(acc)

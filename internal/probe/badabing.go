@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"badabing/internal/badabing"
+	"badabing/internal/session"
 	"badabing/internal/simnet"
 )
 
@@ -59,23 +60,21 @@ func StartBadabing(sim *simnet.Sim, d *simnet.Dumbbell, flow uint64, cfg Badabin
 // and are collected from demux (e.g. a multi-hop simnet.Chain's Entry and
 // FwdDemux).
 func StartBadabingAt(sim *simnet.Sim, entry *simnet.Link, demux *simnet.Demux, flow uint64, cfg BadabingConfig) *Badabing {
+	return StartBadabingSlots(sim, entry, demux, flow, cfg, badabing.ProbeSlots(cfg.Plans))
+}
+
+// StartBadabingSlots schedules one probe per slot of an already-flattened
+// schedule (ascending, deduplicated — see badabing.ProbeSlots). It is the
+// session engine's entry point, which derives the slot list itself;
+// cfg.Plans is then only needed for the batch Report/Counts accessors.
+func StartBadabingSlots(sim *simnet.Sim, entry *simnet.Link, demux *simnet.Demux, flow uint64, cfg BadabingConfig, slots []int64) *Badabing {
 	cfg.applyDefaults()
 	b := &Badabing{
 		cfg:    cfg,
 		prober: NewProber(sim, entry, flow, cfg.PacketSize, cfg.PktGap),
+		slots:  slots,
 	}
 	demux.Register(flow, b.prober.Receiver())
-	seen := make(map[int64]bool)
-	for _, pl := range cfg.Plans {
-		for j := 0; j < pl.Probes; j++ {
-			slot := pl.Slot + int64(j)
-			if seen[slot] {
-				continue
-			}
-			seen[slot] = true
-			b.slots = append(b.slots, slot)
-		}
-	}
 	for _, slot := range b.slots {
 		slot := slot
 		sim.ScheduleAt(time.Duration(slot)*cfg.Slot, func() {
@@ -96,26 +95,16 @@ func (b *Badabing) PacketCounts() (sent, lost int) { return b.prober.PacketCount
 func (b *Badabing) Observations() []badabing.ProbeObs {
 	raw := b.prober.Results()
 	obs := make([]badabing.ProbeObs, len(raw))
-	var lastOWD time.Duration
 	for i, r := range raw {
-		o := badabing.ProbeObs{
+		obs[i] = badabing.ProbeObs{
 			Slot:        r.Key,
 			T:           r.T,
 			SentPackets: r.Sent,
 			LostPackets: r.Lost,
 			OWD:         r.OWD,
 		}
-		// A fully lost probe has no delay sample; per §6.1 use the
-		// most recent successfully transmitted packet's delay as
-		// the queue-depth estimate.
-		if o.OWD == 0 && lastOWD > 0 {
-			o.OWD = lastOWD
-		}
-		if r.OWD > 0 {
-			lastOWD = r.OWD
-		}
-		obs[i] = o
 	}
+	badabing.InheritOWD(obs)
 	return obs
 }
 
@@ -134,12 +123,7 @@ func (b *Badabing) Counts() badabing.Counts {
 
 func (b *Badabing) accumulate() *badabing.Accumulator {
 	acc := &badabing.Accumulator{Slot: b.cfg.Slot, ExtendedPairs: b.cfg.ExtendedPairs}
-	obs := b.Observations()
-	marked := badabing.Mark(obs, b.cfg.Marker)
-	bySlot := make(map[int64]bool, len(obs))
-	for i, o := range obs {
-		bySlot[o.Slot] = bySlot[o.Slot] || marked[i]
-	}
+	bySlot := session.MarkSlots(b.Observations(), nil, b.cfg.Marker)
 	badabing.Assemble(acc, b.cfg.Plans, bySlot)
 	return acc
 }

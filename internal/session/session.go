@@ -1,0 +1,343 @@
+// Package session is the transport-neutral BADABING session engine: one
+// probe process, two substrates. It owns everything the paper's tool does
+// between "here is a path" and "here are the estimates" — schedule
+// generation, probe-slot derivation, per-probe outcome bookkeeping,
+// congestion marking, experiment assembly and streaming estimation —
+// parameterized by a small Transport interface so the identical engine
+// drives both the simulated testbed (simtransport) and real UDP paths
+// (wiretransport).
+//
+// The engine advances in harvest steps: Transport.AdvanceTo moves session
+// time forward (running the discrete-event simulator, or sleeping on the
+// wall clock), then the settled observations are re-marked, newly completed
+// experiments are fed to the streaming estimator and a snapshot is
+// published. Marking is retrospective — the baseline delay and loss-time
+// delay estimates refine as data arrives — so mid-run snapshots freeze an
+// outcome's congestion bits when the outcome is fed; the final snapshot is
+// rebuilt from the full observation set and is exactly what the batch
+// pipeline reports.
+package session
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"badabing/internal/badabing"
+)
+
+// DefaultSettle is how far behind session "now" a probe must be before its
+// observation is considered stable enough to harvest. It bounds path delay
+// plus the marker's τ look-ahead with a wide margin: 50 ms propagation +
+// ≤100 ms queueing on the testbed topology, and comfortably more than any
+// sane real-path RTT.
+const DefaultSettle = time.Second
+
+// Clock abstracts session time, measured as a Duration since the session
+// started. The simulated substrate reads virtual time; the wire substrate
+// reads the wall clock relative to its launch instant.
+type Clock interface {
+	// Now returns the current session time.
+	Now() time.Duration
+	// AdvanceTo moves session time forward to t: the simulated clock runs
+	// its event loop, the wall clock sleeps. It returns early with the
+	// context's error on cancellation, or the transport's error if the
+	// substrate failed (e.g. the probe sender died).
+	AdvanceTo(ctx context.Context, t time.Duration) error
+}
+
+// Transport is a measurement substrate: it emits the session's probes at
+// their slot deadlines and accumulates per-probe observations.
+type Transport interface {
+	Clock
+	// Launch starts emitting probes for the given slots (ascending,
+	// deduplicated, from badabing.ProbeSlots). It must not block for the
+	// session's duration: the simulated substrate pre-schedules events,
+	// the wire substrate starts a pacing goroutine.
+	Launch(ctx context.Context, slots []int64) error
+	// Observations returns per-probe outcomes in send order for every
+	// probe emitted so far, fully lost probes included, with the §6.1
+	// missing-delay rule already applied. invalid flags slots whose
+	// probes cannot be trusted (e.g. paced too far behind schedule);
+	// experiments touching them are skipped. invalid may be nil.
+	Observations() (obs []badabing.ProbeObs, invalid map[int64]bool)
+	// Close releases the substrate's resources (sockets, goroutines).
+	Close() error
+}
+
+// Config parameterizes one measurement session.
+type Config struct {
+	// P is the per-slot experiment probability.
+	P float64
+	// Slots is the measurement horizon in slots (the schedule's N).
+	Slots int64
+	// Slot is the discretization width. Default badabing.DefaultSlot.
+	Slot time.Duration
+	// Improved selects the improved (triple-probe) design;
+	// ExtendedFraction weights it (nil = the paper's 1/2).
+	Improved         bool
+	ExtendedFraction *float64
+	// ExtendedPairs enables the §5.5 pair-counting modification.
+	ExtendedPairs bool
+	// Seed fixes the schedule RNG.
+	Seed int64
+	// Marker holds the α/τ congestion-marking parameters. A zero value
+	// selects RecommendedMarker(P, Slot).
+	Marker badabing.MarkerConfig
+	// WindowSlots is the streaming estimator's sliding-window span; zero
+	// disables windowing.
+	WindowSlots int64
+	// StepSlots is the harvest cadence in slots. Default 1000.
+	StepSlots int64
+	// StepDelay throttles the session by sleeping this much wall time
+	// between harvest steps (useful to pace a simulated session like a
+	// live one; a wire session is already paced by its clock).
+	StepDelay time.Duration
+	// Settle is the stability cutoff for harvesting. Default
+	// DefaultSettle.
+	Settle time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Slot == 0 {
+		c.Slot = badabing.DefaultSlot
+	}
+	if c.StepSlots == 0 {
+		c.StepSlots = 1000
+	}
+	if c.Settle == 0 {
+		c.Settle = DefaultSettle
+	}
+	if c.Marker == (badabing.MarkerConfig{}) {
+		c.Marker = badabing.RecommendedMarker(c.P, c.Slot)
+	}
+}
+
+// schedule draws the session's experiment plan.
+func (c *Config) schedule() ([]badabing.Plan, error) {
+	return badabing.Schedule(badabing.ScheduleConfig{
+		P:                c.P,
+		N:                c.Slots,
+		Improved:         c.Improved,
+		ExtendedFraction: c.ExtendedFraction,
+		Seed:             c.Seed,
+	})
+}
+
+// Counters are a session's probe-level tallies so far.
+type Counters struct {
+	ProbesSent  int64
+	ProbesLost  int64
+	PacketsSent int64
+	PacketsLost int64
+	Experiments int64
+	Skipped     int64
+}
+
+// Update is one published harvest step: the estimator snapshot, progress
+// through the horizon and the tallies backing it.
+type Update struct {
+	Snapshot  badabing.StreamSnapshot
+	SlotsDone int64
+	Counters  Counters
+}
+
+// Result is a completed session.
+type Result struct {
+	// Final is the last published update, rebuilt from the full
+	// observation set (bit-identical to batch estimation).
+	Final Update
+	// Plans is the experiment schedule the session ran.
+	Plans []badabing.Plan
+	// Probes is the number of probe slots the schedule flattened to.
+	Probes int
+	// Marked is the final per-slot congestion bit map (slots of invalid
+	// probes absent), as fed to the estimators.
+	Marked map[int64]bool
+}
+
+// Run drives a full measurement session over the transport: it draws the
+// schedule, launches probing, paces the harvest loop, and publishes an
+// Update after every step (publish may be nil). It blocks until the
+// session completes or ctx is cancelled. The caller owns the transport and
+// closes it.
+func Run(ctx context.Context, tr Transport, cfg Config, publish func(Update)) (*Result, error) {
+	cfg.applyDefaults()
+	plans, err := cfg.schedule()
+	if err != nil {
+		return nil, err
+	}
+	slots := badabing.ProbeSlots(plans)
+	stream, err := badabing.NewStream(badabing.StreamConfig{
+		Slot:          cfg.Slot,
+		WindowSlots:   cfg.WindowSlots,
+		ExtendedPairs: cfg.ExtendedPairs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.Launch(ctx, slots); err != nil {
+		return nil, err
+	}
+
+	h := &harvester{cfg: &cfg, plans: plans, stream: stream, publish: publish}
+	res := &Result{Plans: plans, Probes: len(slots)}
+	horizon := time.Duration(cfg.Slots) * cfg.Slot
+	step := time.Duration(cfg.StepSlots) * cfg.Slot
+	for t := step; ; t += step {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		end := t >= horizon+cfg.Settle
+		if end {
+			t = horizon + cfg.Settle
+		}
+		if err := tr.AdvanceTo(ctx, t); err != nil {
+			return nil, err
+		}
+		h.harvest(tr, t, end)
+		if end {
+			res.Final = h.last
+			res.Marked = h.marked
+			return res, nil
+		}
+		if cfg.StepDelay > 0 {
+			timer := time.NewTimer(cfg.StepDelay)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
+		}
+	}
+}
+
+// harvester carries the incremental estimation state across steps.
+type harvester struct {
+	cfg     *Config
+	plans   []badabing.Plan
+	stream  *badabing.Stream
+	publish func(Update)
+	fed     int // plans[:fed] have been fed to the stream
+	skip    int64
+	last    Update
+	marked  map[int64]bool
+}
+
+// harvest re-marks the settled observations and feeds newly completed
+// experiments. At the end of the run it rebuilds the stream from the full
+// observation set so the published result matches batch estimation.
+func (h *harvester) harvest(tr Transport, now time.Duration, end bool) {
+	obs, invalid := tr.Observations()
+	cutoff := now - h.cfg.Settle
+	if end {
+		cutoff = now
+	}
+	settled := obs
+	for i, o := range obs {
+		if o.T > cutoff {
+			settled = obs[:i]
+			break
+		}
+	}
+
+	var c Counters
+	for _, o := range settled {
+		c.ProbesSent++
+		c.PacketsSent += int64(o.SentPackets)
+		c.PacketsLost += int64(o.LostPackets)
+		if o.LostPackets > 0 {
+			c.ProbesLost++
+		}
+	}
+
+	bySlot := MarkSlots(settled, invalid, h.cfg.Marker)
+
+	if end {
+		// Final pass: re-mark everything and rebuild, discarding the
+		// provisional mid-run marks.
+		h.stream, _ = badabing.NewStream(badabing.StreamConfig{
+			Slot:          h.cfg.Slot,
+			WindowSlots:   h.cfg.WindowSlots,
+			ExtendedPairs: h.cfg.ExtendedPairs,
+		})
+		h.fed = 0
+		h.skip = 0
+	}
+	// Feed experiments whose probes have all settled. An extra marker-τ
+	// guard keeps a loss arriving just after the cutoff from changing a
+	// mark we already froze.
+	feedCutoff := cutoff - h.cfg.Marker.Tau - h.cfg.Slot
+	if end {
+		feedCutoff = cutoff
+	}
+	for h.fed < len(h.plans) {
+		pl := h.plans[h.fed]
+		if time.Duration(pl.Slot+int64(pl.Probes)-1)*h.cfg.Slot > feedCutoff {
+			break
+		}
+		bits := make([]bool, 0, pl.Probes)
+		ok := true
+		for j := 0; j < pl.Probes; j++ {
+			b, present := bySlot[pl.Slot+int64(j)]
+			if !present {
+				ok = false
+				break
+			}
+			bits = append(bits, b)
+		}
+		if ok {
+			h.stream.Observe(pl.Slot, bits)
+		} else {
+			h.skip++
+		}
+		h.fed++
+	}
+	c.Experiments = int64(h.stream.M())
+	c.Skipped = h.skip
+
+	slotsDone := int64(now / h.cfg.Slot)
+	if slotsDone > h.cfg.Slots {
+		slotsDone = h.cfg.Slots
+	}
+	h.last = Update{Snapshot: h.stream.Snapshot(), SlotsDone: slotsDone, Counters: c}
+	h.marked = bySlot
+	if h.publish != nil {
+		h.publish(h.last)
+	}
+}
+
+// MarkSlots is the one shared marking pipeline: it classifies each probe
+// observation as congested or not (badabing.Mark) and collapses the result
+// to a per-slot congestion-bit map, omitting slots flagged invalid so that
+// experiments touching them are skipped by assembly. Every estimation path
+// — the session engine, the wire collector's batch reports and the
+// control-channel counts — feeds its marker through this function.
+func MarkSlots(obs []badabing.ProbeObs, invalid map[int64]bool, cfg badabing.MarkerConfig) map[int64]bool {
+	marked := badabing.Mark(obs, cfg)
+	bySlot := make(map[int64]bool, len(obs))
+	for i, o := range obs {
+		if invalid[o.Slot] {
+			continue
+		}
+		bySlot[o.Slot] = bySlot[o.Slot] || marked[i]
+	}
+	return bySlot
+}
+
+// BatchEstimates assembles marked outcomes for a schedule straight into a
+// fresh accumulator and returns its estimates plus the number of skipped
+// experiments — the batch twin of a session's streaming feed, used to
+// cross-check final snapshots.
+func BatchEstimates(plans []badabing.Plan, bySlot map[int64]bool, slot time.Duration, extendedPairs bool) (badabing.Estimates, int) {
+	acc := &badabing.Accumulator{Slot: slot, ExtendedPairs: extendedPairs}
+	skipped := badabing.Assemble(acc, plans, bySlot)
+	return badabing.EstimatesOf(acc), skipped
+}
+
+// String implements a compact one-line rendering of counters for logs.
+func (c Counters) String() string {
+	return fmt.Sprintf("probes %d (%d lost) packets %d (%d lost) experiments %d (%d skipped)",
+		c.ProbesSent, c.ProbesLost, c.PacketsSent, c.PacketsLost, c.Experiments, c.Skipped)
+}

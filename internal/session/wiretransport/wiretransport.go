@@ -1,0 +1,169 @@
+// Package wiretransport adapts the UDP sender/collector pair to the
+// session engine's Transport interface, measuring the round trip to an
+// echoing far end (wire.Reflector or any dumb echo service): probes are
+// paced onto their slot deadlines by a goroutine while the collector logs
+// the reflected stream on the same socket, and AdvanceTo sleeps on the
+// wall clock.
+package wiretransport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"badabing/internal/badabing"
+	"badabing/internal/wire"
+)
+
+// Transport drives a BADABING session over a real UDP path. Construct it
+// with Dial, hand it to session.Run, then Close it.
+type Transport struct {
+	cfg  wire.SenderConfig
+	conn *net.UDPConn
+	col  *wire.Collector
+
+	start time.Time
+	slots []int64
+
+	mu       sync.Mutex
+	sent     int // slots[:sent] have been emitted
+	sendErr  error
+	stats    wire.SendStats
+	launched bool
+	done     chan struct{}
+}
+
+// Dial connects a UDP socket to target and prepares a round-trip
+// measurement transport. cfg must carry the session's exact schedule
+// parameters (P, N, Slot, Improved, Seed — in particular a non-zero Seed
+// equal to the session Config's), since they are stamped into the wire
+// header and the collector's own batch reports re-derive the schedule from
+// them.
+func Dial(target string, cfg wire.SenderConfig) (*Transport, error) {
+	if cfg.Seed == 0 {
+		return nil, fmt.Errorf("wiretransport: seed must be pinned to the session's schedule seed")
+	}
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	raddr, err := net.ResolveUDPAddr("udp", target)
+	if err != nil {
+		return nil, fmt.Errorf("wiretransport: resolve %s: %w", target, err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("wiretransport: dial %s: %w", target, err)
+	}
+	return &Transport{
+		cfg:  cfg,
+		conn: conn,
+		col:  wire.NewCollector(conn),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// Launch starts the collector loop and the pacing goroutine. The launch
+// instant becomes session time zero.
+func (t *Transport) Launch(ctx context.Context, slots []int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.launched {
+		return fmt.Errorf("wiretransport: already launched")
+	}
+	t.launched = true
+	t.slots = slots
+	t.start = time.Now()
+	go t.col.Run()
+	go func() {
+		defer close(t.done)
+		st, err := wire.SendSlots(ctx, t.conn, t.cfg, slots, t.start, func(i int, slot int64) {
+			t.mu.Lock()
+			t.sent = i + 1
+			t.mu.Unlock()
+		})
+		t.mu.Lock()
+		t.stats = st
+		t.sendErr = err
+		t.mu.Unlock()
+	}()
+	return nil
+}
+
+// Now returns the wall-clock time elapsed since Launch.
+func (t *Transport) Now() time.Duration {
+	t.mu.Lock()
+	start := t.start
+	t.mu.Unlock()
+	if start.IsZero() {
+		return 0
+	}
+	return time.Since(start)
+}
+
+// AdvanceTo sleeps until session time tt, then surfaces any error the
+// pacing goroutine hit (a dead sender would otherwise stall the session
+// silently until its horizon).
+func (t *Transport) AdvanceTo(ctx context.Context, tt time.Duration) error {
+	t.mu.Lock()
+	start := t.start
+	t.mu.Unlock()
+	if wait := time.Until(start.Add(tt)); wait > 0 {
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+	t.mu.Lock()
+	err := t.sendErr
+	t.mu.Unlock()
+	if err != nil && err != context.Canceled {
+		return fmt.Errorf("wiretransport: sender: %w", err)
+	}
+	return nil
+}
+
+// Observations assembles per-probe outcomes for every probe emitted so
+// far from the collector's log of the reflected stream, including the
+// collector's pacing-lag invalidation and clock-skew correction.
+func (t *Transport) Observations() ([]badabing.ProbeObs, map[int64]bool) {
+	t.mu.Lock()
+	emitted := t.slots[:t.sent]
+	t.mu.Unlock()
+	obs, invalid, _ := t.col.AssembleObs(t.cfg.ExpID, emitted, t.cfg.PacketsPerProbe, t.cfg.Slot)
+	return obs, invalid
+}
+
+// Close shuts the socket, terminating the collector loop and (if still
+// running) the pacer, and waits for the pacer to exit.
+func (t *Transport) Close() error {
+	err := t.col.Close()
+	t.mu.Lock()
+	launched := t.launched
+	t.mu.Unlock()
+	if launched {
+		<-t.done
+	}
+	return err
+}
+
+// Collector exposes the underlying collector so callers can run batch
+// reports or snapshots against the same observation log.
+func (t *Transport) Collector() *wire.Collector { return t.col }
+
+// ExpID returns the session id stamped on the probes.
+func (t *Transport) ExpID() uint64 { return t.cfg.ExpID }
+
+// LocalAddr returns the probing socket's local address.
+func (t *Transport) LocalAddr() net.Addr { return t.conn.LocalAddr() }
+
+// SendStats returns the pacer's summary; valid once the session is done.
+func (t *Transport) SendStats() wire.SendStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}

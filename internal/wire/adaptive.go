@@ -47,7 +47,7 @@ func (c *AdaptiveConfig) applyDefaults() {
 		c.QueryRetries = 3
 	}
 	if c.Seed == 0 {
-		c.Seed = time.Now().UnixNano()
+		c.Seed = nowNano()
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"badabing/internal/badabing"
+	"badabing/internal/session"
 	"badabing/internal/stats"
 )
 
@@ -19,8 +20,8 @@ type probeRec struct {
 	maxLate time.Duration // worst sender pacing lag among the packets
 }
 
-// session is the collector's state for one ExpID.
-type session struct {
+// colSession is the collector's state for one ExpID.
+type colSession struct {
 	params   Header // schedule parameters from the first packet seen
 	probes   map[int64]*probeRec
 	packets  uint64
@@ -37,14 +38,14 @@ type Collector struct {
 	conn net.PacketConn
 
 	mu          sync.Mutex
-	sessions    map[uint64]*session
+	sessions    map[uint64]*colSession
 	queryMarker badabing.MarkerConfig
 	closed      bool
 }
 
 // NewCollector wraps an open packet socket. Call Run to start receiving.
 func NewCollector(conn net.PacketConn) *Collector {
-	return &Collector{conn: conn, sessions: make(map[uint64]*session)}
+	return &Collector{conn: conn, sessions: make(map[uint64]*colSession)}
 }
 
 // Run reads packets until the socket is closed. It is intended to be run
@@ -76,7 +77,7 @@ func (c *Collector) record(h *Header, now time.Time) {
 	defer c.mu.Unlock()
 	s := c.sessions[h.ExpID]
 	if s == nil {
-		s = &session{
+		s = &colSession{
 			params: *h,
 			probes: make(map[int64]*probeRec),
 			delays: stats.NewHistogram(100*time.Microsecond, 10*time.Second, 256),
@@ -173,7 +174,11 @@ func (c *Collector) assemble(expID uint64, marker badabing.MarkerConfig) (*badab
 	return &rec.Acc, ss, nil
 }
 
-// assembleRecorder is assemble retaining the outcome sequence.
+// assembleRecorder is assemble retaining the outcome sequence. The whole
+// estimation pipeline below is the shared one: schedule reconstruction via
+// badabing.ProbeSlots, observation assembly via AssembleObs, marking via
+// session.MarkSlots, outcome grouping via badabing.Assemble — the same
+// calls the transport-neutral session engine makes.
 func (c *Collector) assembleRecorder(expID uint64, marker badabing.MarkerConfig) (*badabing.Recorder, SessionStats, error) {
 	c.mu.Lock()
 	s := c.sessions[expID]
@@ -182,10 +187,6 @@ func (c *Collector) assembleRecorder(expID uint64, marker badabing.MarkerConfig)
 		return nil, SessionStats{}, ErrUnknownSession
 	}
 	params := s.params
-	probes := make(map[int64]probeRec, len(s.probes))
-	for slot, r := range s.probes {
-		probes[slot] = *r
-	}
 	stats := SessionStats{Packets: s.packets, ProbesSeen: len(s.probes)}
 	c.mu.Unlock()
 
@@ -197,35 +198,56 @@ func (c *Collector) assembleRecorder(expID uint64, marker badabing.MarkerConfig)
 	if err != nil {
 		return nil, stats, fmt.Errorf("wire: session %d: %w", expID, err)
 	}
-	seen := make(map[int64]bool)
-	var slots []int64
-	for _, pl := range plans {
-		for j := 0; j < pl.Probes; j++ {
-			slot := pl.Slot + int64(j)
-			if !seen[slot] {
-				seen[slot] = true
-				slots = append(slots, slot)
-			}
-		}
-	}
+	slots := badabing.ProbeSlots(plans)
 	stats.ProbesPlanned = len(slots)
 
-	perProbe := int(params.PktsPerProbe)
-	lateLimit := params.SlotWidth / 2
-	obs := make([]badabing.ProbeObs, 0, len(slots))
-	invalid := make(map[int64]bool)
+	obs, invalid, skew := c.AssembleObs(expID, slots, int(params.PktsPerProbe), params.SlotWidth)
+	stats.Skew = skew
+	stats.LateInvalid = len(invalid)
+	for _, o := range obs {
+		stats.PacketsLost += o.LostPackets
+	}
+
+	bySlot := session.MarkSlots(obs, invalid, marker)
+	rec := &badabing.Recorder{}
+	rec.Acc.Slot = params.SlotWidth
+	stats.Skipped = badabing.Assemble(rec, plans, bySlot)
+	return rec, stats, nil
+}
+
+// AssembleObs builds per-probe observations for the given slots of a
+// session: fully lost probes are included as all-lost, probes the sender
+// paced more than half a slot behind schedule are flagged invalid (§7: a
+// lagging sender bunches adjacent slots' probes together, corrupting the
+// experiment outcomes), fitted clock skew is removed from the delays (§7)
+// and missing delays are inherited per §6.1. An unknown session yields
+// all-lost observations, which is what a sender whose every probe vanished
+// should conclude. Both the collector's batch reports and the wire
+// transport of the session engine assemble through this one method.
+func (c *Collector) AssembleObs(expID uint64, slots []int64, perProbe int, slotWidth time.Duration) (obs []badabing.ProbeObs, invalid map[int64]bool, skew Skew) {
+	c.mu.Lock()
+	probes := make(map[int64]probeRec)
+	if s := c.sessions[expID]; s != nil {
+		for slot, r := range s.probes {
+			probes[slot] = *r
+		}
+	}
+	c.mu.Unlock()
+
+	lateLimit := slotWidth / 2
+	obs = make([]badabing.ProbeObs, 0, len(slots))
+	invalid = make(map[int64]bool)
 	for _, slot := range slots {
 		o := badabing.ProbeObs{
 			Slot:        slot,
 			SentPackets: perProbe,
-			T:           time.Duration(slot) * params.SlotWidth,
+			T:           time.Duration(slot) * slotWidth,
 		}
 		if r, ok := probes[slot]; ok {
 			o.LostPackets = perProbe - r.got
 			o.OWD = r.maxOWD
 			if r.maxLate > lateLimit {
 				invalid[slot] = true
-				stats.LateInvalid++
 			}
 		} else {
 			o.LostPackets = perProbe
@@ -233,25 +255,13 @@ func (c *Collector) assembleRecorder(expID uint64, marker badabing.MarkerConfig)
 		if o.LostPackets < 0 {
 			o.LostPackets = 0 // duplicated packets; clamp
 		}
-		stats.PacketsLost += o.LostPackets
 		obs = append(obs, o)
 	}
 
-	stats.Skew = estimateSkew(obs)
-	correctSkew(obs, stats.Skew)
-
-	marked := badabing.Mark(obs, marker)
-	bySlot := make(map[int64]bool, len(obs))
-	for i, o := range obs {
-		if invalid[o.Slot] {
-			continue
-		}
-		bySlot[o.Slot] = bySlot[o.Slot] || marked[i]
-	}
-	rec := &badabing.Recorder{}
-	rec.Acc.Slot = params.SlotWidth
-	stats.Skipped = badabing.Assemble(rec, plans, bySlot)
-	return rec, stats, nil
+	skew = estimateSkew(obs)
+	correctSkew(obs, skew)
+	badabing.InheritOWD(obs)
+	return obs, invalid, skew
 }
 
 // Snapshot returns a session's marked outcome counts and reception stats

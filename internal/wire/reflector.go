@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Reflector is the minimal collaborating far end of a round-trip BADABING
+// session: it bounces every datagram straight back to its source. A sender
+// that runs its own collector on the probing socket then measures the
+// round-trip loss of the reflected path — the deployment shape badabingd's
+// "wire" scenario uses, where only a dumb echo service is needed at the
+// remote host.
+type Reflector struct {
+	conn net.PacketConn
+
+	packets atomic.Uint64
+	dropped atomic.Uint64
+
+	mu     sync.Mutex
+	tap    func(data []byte, from net.Addr)
+	closed bool
+}
+
+// NewReflector wraps an open packet socket. Call Run (usually on its own
+// goroutine) to start echoing.
+func NewReflector(conn net.PacketConn) *Reflector {
+	return &Reflector{conn: conn}
+}
+
+// SetTap installs an observer invoked with each datagram before it is
+// echoed (tests use it to record the probe stream). Call before Run.
+func (r *Reflector) SetTap(tap func(data []byte, from net.Addr)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tap = tap
+}
+
+// Run echoes datagrams until the socket is closed.
+func (r *Reflector) Run() {
+	r.mu.Lock()
+	tap := r.tap
+	r.mu.Unlock()
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := r.conn.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		r.packets.Add(1)
+		if tap != nil {
+			tap(buf[:n], addr)
+		}
+		if _, err := r.conn.WriteTo(buf[:n], addr); err != nil {
+			r.dropped.Add(1)
+		}
+	}
+}
+
+// Packets returns how many datagrams have been received so far.
+func (r *Reflector) Packets() uint64 { return r.packets.Load() }
+
+// Addr returns the socket's local address.
+func (r *Reflector) Addr() net.Addr { return r.conn.LocalAddr() }
+
+// Close shuts the socket, terminating Run.
+func (r *Reflector) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.conn.Close()
+}

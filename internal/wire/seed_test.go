@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+// pinNow overrides the clock-derived seed source for the test's duration.
+func pinNow(t *testing.T, nanos int64) {
+	t.Helper()
+	old := nowNano
+	nowNano = func() int64 { return nanos }
+	t.Cleanup(func() { nowNano = old })
+}
+
+func TestSenderConfigSeedFromClock(t *testing.T) {
+	pinNow(t, 424242)
+	cfg := SenderConfig{P: 0.3, N: 100}
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatalf("applyDefaults: %v", err)
+	}
+	if cfg.Seed != 424242 {
+		t.Fatalf("clock-derived seed = %d, want 424242", cfg.Seed)
+	}
+
+	cfg = SenderConfig{P: 0.3, N: 100, Seed: 7}
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatalf("applyDefaults: %v", err)
+	}
+	if cfg.Seed != 7 {
+		t.Fatalf("explicit seed overwritten: got %d, want 7", cfg.Seed)
+	}
+}
+
+func TestAdaptiveConfigSeedFromClock(t *testing.T) {
+	pinNow(t, 171717)
+	cfg := AdaptiveConfig{}
+	cfg.applyDefaults()
+	if cfg.Seed != 171717 {
+		t.Fatalf("clock-derived seed = %d, want 171717", cfg.Seed)
+	}
+
+	cfg = AdaptiveConfig{Seed: 9}
+	cfg.applyDefaults()
+	if cfg.Seed != 9 {
+		t.Fatalf("explicit seed overwritten: got %d, want 9", cfg.Seed)
+	}
+}
+
+func TestZingSenderConfigSeedFromClock(t *testing.T) {
+	pinNow(t, 99)
+	cfg := ZingSenderConfig{Rate: 10, Duration: time.Second}
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatalf("applyDefaults: %v", err)
+	}
+	if cfg.Seed != 99 {
+		t.Fatalf("clock-derived seed = %d, want 99", cfg.Seed)
+	}
+}

@@ -9,6 +9,12 @@ import (
 	"badabing/internal/badabing"
 )
 
+// nowNano supplies the clock-derived default for unpinned seeds. Tests
+// override it to make "unseeded" sessions reproducible; everything else
+// must route clock-derived seeds through it rather than calling time.Now
+// directly.
+var nowNano = func() int64 { return time.Now().UnixNano() }
+
 // SenderConfig parameterizes a measurement session.
 type SenderConfig struct {
 	// ExpID identifies the session; pick something unique per run.
@@ -31,6 +37,11 @@ type SenderConfig struct {
 	PacketSize int
 }
 
+// Normalize fills defaults (slot width, packet sizing, clock-derived seed)
+// and validates the config in place, so callers that assemble packets or
+// schedules themselves see the same values the sender will use.
+func (c *SenderConfig) Normalize() error { return c.applyDefaults() }
+
 func (c *SenderConfig) applyDefaults() error {
 	if c.Slot == 0 {
 		c.Slot = badabing.DefaultSlot
@@ -51,7 +62,7 @@ func (c *SenderConfig) applyDefaults() error {
 		return fmt.Errorf("wire: slot count %d must be positive", c.N)
 	}
 	if c.Seed == 0 {
-		c.Seed = time.Now().UnixNano()
+		c.Seed = nowNano()
 	}
 	return nil
 }
@@ -71,33 +82,34 @@ type SendStats struct {
 // pacing probes onto their slot deadlines. It blocks until the session
 // completes or ctx is cancelled.
 func Send(ctx context.Context, conn net.Conn, cfg SenderConfig) (SendStats, error) {
-	var st SendStats
 	if err := cfg.applyDefaults(); err != nil {
-		return st, err
+		return SendStats{}, err
 	}
 	plans, err := badabing.Schedule(badabing.ScheduleConfig{
 		P: cfg.P, N: cfg.N, Improved: cfg.Improved, Seed: cfg.Seed,
 	})
 	if err != nil {
-		return st, err
+		return SendStats{}, err
 	}
+	st, err := SendSlots(ctx, conn, cfg, badabing.ProbeSlots(plans), time.Now(), nil)
 	st.Experiments = len(plans)
+	return st, err
+}
 
-	// Deduplicate overlapping experiments' slots, preserving order.
-	seen := make(map[int64]bool)
-	var slots []int64
-	for _, pl := range plans {
-		for j := 0; j < pl.Probes; j++ {
-			s := pl.Slot + int64(j)
-			if !seen[s] {
-				seen[s] = true
-				slots = append(slots, s)
-			}
-		}
+// SendSlots paces the probes of an already-flattened schedule (ascending,
+// deduplicated slots from badabing.ProbeSlots) onto their deadlines
+// relative to start, which also stamps the wire header so the receiver can
+// reconstruct the timeline. onProbe, if non-nil, is called after each
+// probe's packets have been written — the session engine uses it to track
+// emission progress. cfg must already be defaulted and carry a valid Seed;
+// Send wraps this with schedule generation for standalone use.
+func SendSlots(ctx context.Context, conn net.Conn, cfg SenderConfig, slots []int64, start time.Time, onProbe func(i int, slot int64)) (SendStats, error) {
+	var st SendStats
+	if err := cfg.applyDefaults(); err != nil {
+		return st, err
 	}
 	st.Probes = len(slots)
 
-	start := time.Now()
 	buf := make([]byte, cfg.PacketSize)
 	var seq uint64
 	h := Header{
@@ -120,7 +132,7 @@ func Send(ctx context.Context, conn net.Conn, cfg SenderConfig) (SendStats, erro
 	// timers routinely overshoot by a millisecond or more, which is
 	// material at millisecond slot widths.
 	const spin = 2 * time.Millisecond
-	for _, slot := range slots {
+	for i, slot := range slots {
 		deadline := start.Add(time.Duration(slot) * cfg.Slot)
 		if wait := time.Until(deadline) - spin; wait > 0 {
 			timer.Reset(wait)
@@ -151,6 +163,9 @@ func Send(ctx context.Context, conn net.Conn, cfg SenderConfig) (SendStats, erro
 				return st, fmt.Errorf("wire: send slot %d: %w", slot, err)
 			}
 			st.Packets++
+		}
+		if onProbe != nil {
+			onProbe(i, slot)
 		}
 	}
 	return st, nil

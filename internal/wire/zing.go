@@ -1,9 +1,12 @@
 package wire
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
+	"net"
 	"sort"
 	"sync"
 	"time"
@@ -59,6 +62,79 @@ func (h *ZingHeader) Unmarshal(buf []byte) error {
 	h.Seq = binary.BigEndian.Uint64(buf[14:])
 	h.SendTime = int64(binary.BigEndian.Uint64(buf[22:]))
 	return nil
+}
+
+// ZingSenderConfig parameterizes a Poisson-modulated probe session (§2's
+// ZING baseline: UDP probes at exponentially distributed intervals).
+type ZingSenderConfig struct {
+	// ExpID identifies the session at the collector.
+	ExpID uint64
+	// Rate is the mean probe rate in probes per second.
+	Rate float64
+	// Size is the probe packet size; default 256, minimum ZingHeaderSize.
+	Size int
+	// Duration bounds the session length.
+	Duration time.Duration
+	// Seed drives the interval RNG; 0 derives it from the clock.
+	Seed int64
+}
+
+func (c *ZingSenderConfig) applyDefaults() error {
+	if c.Size == 0 {
+		c.Size = 256
+	}
+	if c.Size < ZingHeaderSize {
+		return fmt.Errorf("wire: zing packet size %d below header size %d", c.Size, ZingHeaderSize)
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("wire: zing rate %v must be positive", c.Rate)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("wire: zing duration %v must be positive", c.Duration)
+	}
+	if c.Seed == 0 {
+		c.Seed = nowNano()
+	}
+	return nil
+}
+
+// ZingSend emits sequence-numbered, timestamped probes over conn at
+// Poisson-modulated intervals until the configured duration elapses or ctx
+// is cancelled (in which case it returns the probes sent so far alongside
+// ctx's error). The returned count is the exact total a collector needs
+// for trailing-loss accounting.
+func ZingSend(ctx context.Context, conn net.Conn, cfg ZingSenderConfig) (uint64, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mean := time.Duration(float64(time.Second) / cfg.Rate)
+	end := time.Now().Add(cfg.Duration)
+	buf := make([]byte, cfg.Size)
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var seq uint64
+	for time.Now().Before(end) {
+		gap := time.Duration(rng.ExpFloat64() * float64(mean))
+		timer.Reset(gap)
+		select {
+		case <-ctx.Done():
+			return seq, ctx.Err()
+		case <-timer.C:
+		}
+		h := ZingHeader{ExpID: cfg.ExpID, Seq: seq, SendTime: time.Now().UnixNano()}
+		if _, err := h.Marshal(buf); err != nil {
+			return seq, err
+		}
+		if _, err := conn.Write(buf); err != nil {
+			return seq, err
+		}
+		seq++
+	}
+	return seq, nil
 }
 
 // zingSession holds received sequence numbers and send times.
