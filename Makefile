@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-full fuzz experiments clean
+.PHONY: all build vet test race check chaos bench bench-full fuzz experiments clean
 
 all: build vet test
 
@@ -25,6 +25,16 @@ check:
 	$(GO) build ./...
 	$(GO) test -race -short ./internal/fleet/... ./internal/session/... ./internal/wire/... ./internal/runner/...
 
+# Fault-injection matrix under the race detector: every impairment class
+# (drop, duplicate, reorder, delay, truncate, corrupt, bursts) against a
+# live session, plus the dead-reflector abort, fleet retry and daemon
+# drain paths.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/... \
+		-run 'TestImpaired|TestHung|TestKilled|TestHandshake|TestFlaky'
+	$(GO) test -race -count=1 ./internal/session/wiretransport/... ./cmd/badabingd/...
+	$(GO) test -race -count=1 ./internal/fleet/ -run 'TestWireSession|TestCreateAPIHardening|TestRetry'
+
 # Shortened-horizon benchmarks: one per paper table/figure plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -38,6 +48,7 @@ fuzz:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzControlQuery -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzControlReply -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzZingHeaderUnmarshal -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzLiveness -fuzztime 30s
 
 # Reproduce every paper table and figure at full scale (≈25 minutes).
 experiments:

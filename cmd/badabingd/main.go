@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"badabing/internal/fleet"
+	"badabing/internal/wire"
 )
 
 func main() {
@@ -36,15 +37,19 @@ func main() {
 }
 
 // run wires the registry and HTTP server together and blocks until ctx
-// is cancelled, then drains sessions and in-flight requests. If ready is
-// non-nil it receives the bound listen address once the server accepts
-// connections (used by tests to bind port 0).
+// is cancelled, then drains: the registry stops accepting sessions
+// (creates answer 503), in-flight sessions are cancelled and snapshot
+// their partial estimates, and the daemon exits within -drain-timeout.
+// If ready is non-nil it receives the bound listen address once the
+// server accepts connections (used by tests to bind port 0).
 func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("badabingd", flag.ContinueOnError)
 	fs.SetOutput(logw)
 	listen := fs.String("listen", ":8642", "HTTP listen address")
 	maxSessions := fs.Int("max-sessions", 0, "max registered sessions (0 = default)")
 	maxConcurrent := fs.Int("max-concurrent", 0, "max concurrently running sessions (0 = GOMAXPROCS)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight sessions")
+	reflect := fs.String("reflect", "", "also host a UDP echo reflector on this address (e.g. :8643)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,11 +60,26 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	})
 	defer reg.Close()
 
+	// Optionally co-host a reflector so one daemon can serve as the far
+	// end of another's wire sessions; its counters ride on /metrics.
+	var extra []func(io.Writer)
+	if *reflect != "" {
+		pc, err := net.ListenPacket("udp", *reflect)
+		if err != nil {
+			return fmt.Errorf("reflector: %w", err)
+		}
+		refl := wire.NewReflector(pc)
+		go refl.Run()
+		defer refl.Close()
+		fmt.Fprintf(logw, "badabingd: reflecting on %s\n", pc.LocalAddr())
+		extra = append(extra, func(w io.Writer) { writeReflectorMetrics(w, refl) })
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: fleet.NewHandler(reg)}
+	srv := &http.Server{Handler: fleet.NewHandler(reg, extra...)}
 	fmt.Fprintf(logw, "badabingd: listening on %s (%d workers)\n", ln.Addr(), reg.Workers())
 	if ready != nil {
 		ready <- ln.Addr().String()
@@ -74,7 +94,20 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(logw, "badabingd: shutting down")
+	fmt.Fprintf(logw, "badabingd: draining (deadline %v)\n", *drainTimeout)
+	start := time.Now()
+	clean := reg.Drain(*drainTimeout)
+	for _, s := range reg.List() {
+		v := s.View()
+		fmt.Fprintf(logw, "badabingd: session %s %s: %d/%d slots, F=%g\n",
+			v.ID, v.State, v.SlotsDone, v.Config.Slots, v.Snapshot.Total.Frequency)
+	}
+	if clean {
+		fmt.Fprintf(logw, "badabingd: drained in %v\n", time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Fprintf(logw, "badabingd: drain deadline %v exceeded, exiting anyway\n", *drainTimeout)
+	}
+
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -84,4 +117,18 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		return err
 	}
 	return nil
+}
+
+// writeReflectorMetrics appends the co-hosted reflector's counters to the
+// Prometheus exposition.
+func writeReflectorMetrics(w io.Writer, refl *wire.Reflector) {
+	fmt.Fprintf(w, "# HELP badabingd_reflector_packets_total Probe packets echoed by the co-hosted reflector.\n")
+	fmt.Fprintf(w, "# TYPE badabingd_reflector_packets_total counter\n")
+	fmt.Fprintf(w, "badabingd_reflector_packets_total %d\n", refl.Packets())
+	fmt.Fprintf(w, "# HELP badabingd_reflector_pings_total Liveness pings answered by the co-hosted reflector.\n")
+	fmt.Fprintf(w, "# TYPE badabingd_reflector_pings_total counter\n")
+	fmt.Fprintf(w, "badabingd_reflector_pings_total %d\n", refl.Pings())
+	fmt.Fprintf(w, "# HELP badabingd_reflector_dropped_total Reflector write failures (echoes or pongs it could not send).\n")
+	fmt.Fprintf(w, "# TYPE badabingd_reflector_dropped_total counter\n")
+	fmt.Fprintf(w, "badabingd_reflector_dropped_total %d\n", refl.Dropped())
 }

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -92,6 +95,94 @@ func TestDaemonEndToEnd(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestDaemonGracefulDrain sends a real SIGTERM to a daemon with an
+// in-flight session and requires it to drain and exit within the
+// -drain-timeout deadline: the session is cancelled (stopped, with its
+// partial snapshot intact), new creates are refused with 503, and run()
+// returns cleanly.
+func TestDaemonGracefulDrain(t *testing.T) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-listen", "127.0.0.1:0", "-max-concurrent", "2",
+			"-drain-timeout", "5s", "-reflect", "127.0.0.1:0",
+		}, io.Discard, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	// The co-hosted reflector's counters ride on /metrics.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "badabingd_reflector_packets_total") {
+		t.Errorf("metrics missing reflector counters:\n%s", body)
+	}
+
+	// A slow session that would run for ~2 minutes unattended: the drain
+	// must cut it short.
+	resp, err = http.Post(base+"/v1/sessions", "application/json",
+		strings.NewReader(`{"scenario":"idle","slots":60000,"seed":3,"step_delay_micros":2000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for view.State != "running" {
+		if time.Now().After(deadline) {
+			t.Fatalf("session stuck in %q", view.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err = http.Get(base + "/v1/sessions/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exited with error: %v", err)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatalf("daemon did not drain within the deadline")
+	}
+	if took := time.Since(start); took > 6*time.Second {
+		t.Errorf("drain took %v, deadline was 5s", took)
 	}
 }
 

@@ -1,0 +1,560 @@
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"badabing/internal/badabing"
+	"badabing/internal/chaos"
+	"badabing/internal/session"
+	"badabing/internal/session/wiretransport"
+	"badabing/internal/wire"
+)
+
+// memConn is an in-memory net.PacketConn: reads pop from a channel, writes
+// append to a log. It gives the fault engine a fully scripted packet
+// sequence, which is what determinism tests need.
+type memConn struct {
+	in chan []byte
+
+	mu  sync.Mutex
+	out [][]byte
+
+	closeOnce sync.Once
+	dead      chan struct{}
+}
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }
+
+func newMemConn(buffered int) *memConn {
+	return &memConn{in: make(chan []byte, buffered), dead: make(chan struct{})}
+}
+
+func (m *memConn) push(b []byte) { m.in <- append([]byte(nil), b...) }
+
+func (m *memConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	// Drain buffered packets before honoring close, so push-then-Close
+	// sequences are deterministic.
+	select {
+	case b := <-m.in:
+		return copy(p, b), memAddr{}, nil
+	default:
+	}
+	select {
+	case b := <-m.in:
+		return copy(p, b), memAddr{}, nil
+	case <-m.dead:
+		return 0, nil, net.ErrClosed
+	}
+}
+
+func (m *memConn) WriteTo(p []byte, _ net.Addr) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.out = append(m.out, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+func (m *memConn) writes() [][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([][]byte(nil), m.out...)
+}
+
+func (m *memConn) Close() error {
+	m.closeOnce.Do(func() { close(m.dead) })
+	return nil
+}
+func (m *memConn) LocalAddr() net.Addr                { return memAddr{} }
+func (m *memConn) SetDeadline(time.Time) error        { return nil }
+func (m *memConn) SetReadDeadline(time.Time) error    { return nil }
+func (m *memConn) SetWriteDeadline(time.Time) error   { return nil }
+
+// pkt builds a distinguishable payload.
+func pkt(i int) []byte { return []byte{byte(i), byte(i >> 8), 0xAB, byte(i), byte(i), byte(i)} }
+
+// TestImpairedConnDeterministic: the same seed over the same packet
+// sequence must reproduce the exact same fault pattern; a different seed
+// must not.
+func TestImpairedConnDeterministic(t *testing.T) {
+	run := func(seed int64) (chaos.Stats, [][]byte) {
+		mc := newMemConn(0)
+		ic := chaos.Wrap(mc, chaos.Fault{}, chaos.Fault{
+			Drop: 0.25, Duplicate: 0.15, Reorder: 0.2, Truncate: 0.1, Corrupt: 0.1,
+		}, seed)
+		for i := 0; i < 300; i++ {
+			if _, err := ic.WriteTo(pkt(i), memAddr{}); err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+		}
+		return ic.OutboundStats(), mc.writes()
+	}
+	s1, w1 := run(42)
+	s2, w2 := run(42)
+	if s1 != s2 {
+		t.Fatalf("same seed diverged:\n %+v\n %+v", s1, s2)
+	}
+	if len(w1) != len(w2) {
+		t.Fatalf("same seed delivered %d vs %d packets", len(w1), len(w2))
+	}
+	for i := range w1 {
+		if !bytes.Equal(w1[i], w2[i]) {
+			t.Fatalf("same seed diverged at delivered packet %d", i)
+		}
+	}
+	if s1.Dropped == 0 || s1.Duplicated == 0 || s1.Reordered == 0 || s1.Truncated == 0 || s1.Corrupted == 0 {
+		t.Fatalf("fault classes not all exercised: %+v", s1)
+	}
+	s3, _ := run(43)
+	if s1 == s3 {
+		t.Fatalf("different seeds produced identical fault pattern: %+v", s1)
+	}
+}
+
+// TestImpairedConnWriteFaultClasses pins the per-class write-side
+// behavior with probability-1 profiles.
+func TestImpairedConnWriteFaultClasses(t *testing.T) {
+	t.Run("drop", func(t *testing.T) {
+		mc := newMemConn(0)
+		ic := chaos.Wrap(mc, chaos.Fault{}, chaos.Fault{Drop: 1}, 1)
+		for i := 0; i < 10; i++ {
+			ic.WriteTo(pkt(i), memAddr{})
+		}
+		if got := mc.writes(); len(got) != 0 {
+			t.Fatalf("drop=1 delivered %d packets", len(got))
+		}
+		if st := ic.OutboundStats(); st.Dropped != 10 || st.Delivered() != 0 {
+			t.Fatalf("stats: %+v", st)
+		}
+	})
+	t.Run("duplicate", func(t *testing.T) {
+		mc := newMemConn(0)
+		ic := chaos.Wrap(mc, chaos.Fault{}, chaos.Fault{Duplicate: 1}, 1)
+		for i := 0; i < 5; i++ {
+			ic.WriteTo(pkt(i), memAddr{})
+		}
+		if got := mc.writes(); len(got) != 10 {
+			t.Fatalf("duplicate=1 delivered %d packets, want 10", len(got))
+		}
+	})
+	t.Run("reorder", func(t *testing.T) {
+		mc := newMemConn(0)
+		ic := chaos.Wrap(mc, chaos.Fault{}, chaos.Fault{Reorder: 1}, 1)
+		for i := 0; i < 4; i++ {
+			ic.WriteTo(pkt(i), memAddr{})
+		}
+		got := mc.writes()
+		// 0 held; 1 delivered then releases 0; 2 held; 3 delivered then
+		// releases 2.
+		want := [][]byte{pkt(1), pkt(0), pkt(3), pkt(2)}
+		if len(got) != len(want) {
+			t.Fatalf("reorder=1 delivered %d packets, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("packet %d = %v, want %v (adjacent swap)", i, got[i], want[i])
+			}
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		mc := newMemConn(0)
+		ic := chaos.Wrap(mc, chaos.Fault{}, chaos.Fault{Truncate: 1}, 1)
+		for i := 0; i < 8; i++ {
+			ic.WriteTo(pkt(i), memAddr{})
+		}
+		for i, w := range mc.writes() {
+			if len(w) >= len(pkt(0)) {
+				t.Fatalf("packet %d not truncated: %d bytes", i, len(w))
+			}
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		mc := newMemConn(0)
+		ic := chaos.Wrap(mc, chaos.Fault{}, chaos.Fault{Corrupt: 1}, 1)
+		for i := 0; i < 8; i++ {
+			ic.WriteTo(pkt(i), memAddr{})
+		}
+		for i, w := range mc.writes() {
+			if bytes.Equal(w, pkt(i)) {
+				t.Fatalf("packet %d not corrupted", i)
+			}
+			if len(w) != len(pkt(i)) {
+				t.Fatalf("corrupt changed length: %d -> %d", len(pkt(i)), len(w))
+			}
+		}
+	})
+	t.Run("delay", func(t *testing.T) {
+		mc := newMemConn(0)
+		ic := chaos.Wrap(mc, chaos.Fault{}, chaos.Fault{
+			Delay: 1, DelayMin: 30 * time.Millisecond, DelayMax: 40 * time.Millisecond,
+		}, 1)
+		ic.WriteTo(pkt(0), memAddr{})
+		if got := mc.writes(); len(got) != 0 {
+			t.Fatalf("delayed packet delivered immediately")
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for len(mc.writes()) == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("delayed packet never delivered")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+	t.Run("burst", func(t *testing.T) {
+		mc := newMemConn(0)
+		ic := chaos.Wrap(mc, chaos.Fault{}, chaos.Fault{BurstEnter: 1, BurstExit: 0}, 1)
+		for i := 0; i < 10; i++ {
+			ic.WriteTo(pkt(i), memAddr{})
+		}
+		st := ic.OutboundStats()
+		if st.BurstDropped != 10 {
+			t.Fatalf("burst enter=1 exit=0 should drop everything: %+v", st)
+		}
+	})
+}
+
+// TestImpairedConnReadFaults drives the inbound direction: drops consume
+// packets, duplicates are delivered twice, reordering swaps neighbours.
+func TestImpairedConnReadFaults(t *testing.T) {
+	mc := newMemConn(16)
+	ic := chaos.Wrap(mc, chaos.Fault{Duplicate: 1}, chaos.Fault{}, 1)
+	mc.push(pkt(1))
+	buf := make([]byte, 64)
+	for want, i := []int{1, 1}, 0; i < len(want); i++ {
+		n, _, err := ic.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("ReadFrom: %v", err)
+		}
+		if !bytes.Equal(buf[:n], pkt(want[i])) {
+			t.Fatalf("read %d = %v, want pkt(%d)", i, buf[:n], want[i])
+		}
+	}
+
+	mc2 := newMemConn(16)
+	ic2 := chaos.Wrap(mc2, chaos.Fault{Drop: 1}, chaos.Fault{}, 1)
+	mc2.push(pkt(0))
+	mc2.Close()
+	if _, _, err := ic2.ReadFrom(buf); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("drop=1 should consume the packet and surface close, got %v", err)
+	}
+	if st := ic2.InboundStats(); st.Dropped != 1 {
+		t.Fatalf("inbound stats: %+v", st)
+	}
+}
+
+// fastWatchdog is a watchdog tuned for test-speed failure detection.
+func fastWatchdog() wiretransport.WatchdogConfig {
+	return wiretransport.WatchdogConfig{
+		ConsecutiveProbes: 8,
+		Grace:             150 * time.Millisecond,
+		Recheck: wire.LivenessConfig{
+			Attempts: 2, Timeout: 100 * time.Millisecond,
+			Backoff: 50 * time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+		},
+	}
+}
+
+// requireFloat64bitsEqual asserts two estimate sets are bit-identical.
+func requireFloat64bitsEqual(t *testing.T, name string, got, want badabing.Estimates) {
+	t.Helper()
+	if got.M != want.M || got.HasDuration != want.HasDuration ||
+		got.HasDurationBasic != want.HasDurationBasic || got.HasDurationImproved != want.HasDurationImproved {
+		t.Fatalf("%s: estimates diverged:\n got %+v\nwant %+v", name, got, want)
+	}
+	for _, f := range []struct {
+		field    string
+		got, want float64
+	}{
+		{"Frequency", got.Frequency, want.Frequency},
+		{"Duration", got.Duration, want.Duration},
+		{"DurationBasic", got.DurationBasic, want.DurationBasic},
+		{"DurationImproved", got.DurationImproved, want.DurationImproved},
+	} {
+		if math.Float64bits(f.got) != math.Float64bits(f.want) {
+			t.Fatalf("%s: %s not Float64bits-identical: %x vs %x (%v vs %v)",
+				name, f.field, math.Float64bits(f.got), math.Float64bits(f.want), f.got, f.want)
+		}
+	}
+}
+
+// TestImpairedAliveParity is the acceptance matrix: a path impaired by
+// every fault class — but alive — must still produce session estimates
+// Float64bits-identical to the collector's batch pipeline over the same
+// observation log, and must never trip the dead-path watchdog.
+func TestImpairedAliveParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paces real probes for ~2s per profile")
+	}
+	profiles := []struct {
+		name       string
+		in, out    chaos.Fault
+		expectLoss bool
+	}{
+		{"drop", chaos.Fault{Drop: 0.15}, chaos.Fault{Drop: 0.1}, true},
+		{"reorder-delay", chaos.Fault{Reorder: 0.25, Delay: 0.3, DelayMin: 500 * time.Microsecond, DelayMax: 3 * time.Millisecond},
+			chaos.Fault{Reorder: 0.1, Delay: 0.2, DelayMin: 500 * time.Microsecond, DelayMax: 2 * time.Millisecond}, false},
+		{"duplicate", chaos.Fault{Duplicate: 0.2}, chaos.Fault{Duplicate: 0.1}, false},
+		{"burst", chaos.Fault{BurstEnter: 0.02, BurstExit: 0.3}, chaos.Fault{}, false},
+		{"kitchen-sink", chaos.Fault{Drop: 0.1, Duplicate: 0.05, Reorder: 0.1, Delay: 0.2, DelayMin: 500 * time.Microsecond, DelayMax: 2 * time.Millisecond},
+			chaos.Fault{Drop: 0.1}, true},
+	}
+	for i, prof := range profiles {
+		prof := prof
+		seed := int64(100 + i)
+		t.Run(prof.name, func(t *testing.T) {
+			t.Parallel()
+			fr := chaos.NewFlakyReflector(prof.in, prof.out, seed)
+			if err := fr.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer fr.Kill()
+
+			const (
+				p     = 0.3
+				slots = 150
+				slotW = 10 * time.Millisecond
+			)
+			cfg := session.Config{
+				P: p, Slots: slots, Slot: slotW, Improved: true, Seed: seed,
+				StepSlots: 50, Settle: 400 * time.Millisecond,
+			}
+			tr, err := wiretransport.DialOptions(fr.Addr().String(), wire.SenderConfig{
+				ExpID: uint64(seed), P: p, N: slots, Slot: slotW, Improved: true, Seed: seed,
+			}, wiretransport.Options{
+				Liveness: wire.LivenessConfig{Seed: seed, Timeout: 200 * time.Millisecond},
+			})
+			if err != nil {
+				t.Fatalf("Dial: %v", err)
+			}
+			defer tr.Close()
+
+			res, err := session.Run(context.Background(), tr, cfg, nil)
+			if err != nil {
+				t.Fatalf("impaired-but-alive session must survive, got %v", err)
+			}
+			if res.Aborted {
+				t.Fatal("impaired-but-alive session flagged aborted")
+			}
+			if prof.expectLoss && res.Final.Counters.PacketsLost == 0 {
+				t.Errorf("profile %s produced no loss", prof.name)
+			}
+
+			// One marking pipeline, two consumers: the streaming session
+			// result must match batch estimation over the very same
+			// collector log, bit for bit.
+			marker := badabing.RecommendedMarker(p, slotW)
+			counts, _, err := tr.Collector().Snapshot(tr.ExpID(), marker)
+			if err != nil {
+				t.Fatalf("collector snapshot: %v", err)
+			}
+			acc := &badabing.Accumulator{Slot: slotW}
+			acc.Merge(counts)
+			want := badabing.EstimatesOf(acc)
+			requireFloat64bitsEqual(t, prof.name, res.Final.Snapshot.Total, want)
+			if want.M == 0 {
+				t.Fatal("parity vacuous: no experiments assembled")
+			}
+		})
+	}
+}
+
+// TestHungReflectorAbortsPartial kills the far end softly mid-session —
+// the socket stays open, nothing comes back — and requires the watchdog
+// to abort with partial estimates that exclude the outage: a dead
+// reflector must never be reported as measured loss (F stays 0 here,
+// since the path was clean while alive).
+func TestHungReflectorAbortsPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paces real probes for seconds")
+	}
+	fr := chaos.NewFlakyReflector(chaos.Fault{}, chaos.Fault{}, 7)
+	if err := fr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Kill()
+
+	const (
+		p     = 0.3
+		slots = 3000 // 30s horizon; the watchdog must cut it far shorter
+		slotW = 10 * time.Millisecond
+	)
+	tr, err := wiretransport.DialOptions(fr.Addr().String(), wire.SenderConfig{
+		ExpID: 7, P: p, N: slots, Slot: slotW, Improved: true, Seed: 7,
+	}, wiretransport.Options{
+		Liveness: wire.LivenessConfig{Seed: 7},
+		Watchdog: fastWatchdog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	go func() {
+		time.Sleep(800 * time.Millisecond)
+		fr.Hang()
+	}()
+
+	start := time.Now()
+	res, err := session.Run(context.Background(), tr, session.Config{
+		P: p, Slots: slots, Slot: slotW, Improved: true, Seed: 7,
+		StepSlots: 30, Settle: 300 * time.Millisecond,
+	}, nil)
+	if !errors.Is(err, session.ErrPathDead) {
+		t.Fatalf("Run returned %v, want ErrPathDead", err)
+	}
+	if took := time.Since(start); took > 15*time.Second {
+		t.Fatalf("watchdog took %v to abort a hung path", took)
+	}
+	if res == nil || !res.Aborted {
+		t.Fatalf("want partial aborted result, got %+v", res)
+	}
+	c := res.Final.Counters
+	if c.ProbesSent == 0 {
+		t.Fatal("partial result holds no pre-outage probes")
+	}
+	if c.ProbesSent >= int64(res.Probes) {
+		t.Fatalf("session claims all %d probes measured across an outage", res.Probes)
+	}
+	// The path was clean while alive: the outage must not leak into the
+	// estimates as loss.
+	if c.ProbesLost != 0 {
+		t.Errorf("outage reported as %d lost probes", c.ProbesLost)
+	}
+	if f := res.Final.Snapshot.Total.Frequency; f != 0 {
+		t.Errorf("outage reported as loss frequency %v", f)
+	}
+	if tr.DeadFrom() < 0 {
+		t.Error("transport did not record the death point")
+	}
+}
+
+// TestKilledReflectorAbortsPartial crashes the far end hard (socket
+// closed → ICMP refused on loopback): the sender's consecutive
+// write-failure guard or the watchdog must abort the session with flagged
+// partial estimates, again without fabricating loss.
+func TestKilledReflectorAbortsPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paces real probes for seconds")
+	}
+	fr := chaos.NewFlakyReflector(chaos.Fault{}, chaos.Fault{}, 9)
+	if err := fr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Kill()
+
+	const (
+		p     = 0.3
+		slots = 3000
+		slotW = 10 * time.Millisecond
+	)
+	tr, err := wiretransport.DialOptions(fr.Addr().String(), wire.SenderConfig{
+		ExpID: 9, P: p, N: slots, Slot: slotW, Improved: true, Seed: 9,
+	}, wiretransport.Options{
+		Liveness: wire.LivenessConfig{Seed: 9},
+		Watchdog: fastWatchdog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	go func() {
+		time.Sleep(700 * time.Millisecond)
+		fr.Kill()
+	}()
+
+	res, err := session.Run(context.Background(), tr, session.Config{
+		P: p, Slots: slots, Slot: slotW, Improved: true, Seed: 9,
+		StepSlots: 30, Settle: 300 * time.Millisecond,
+	}, nil)
+	if !errors.Is(err, session.ErrPathDead) {
+		t.Fatalf("Run returned %v, want ErrPathDead", err)
+	}
+	if res == nil || !res.Aborted {
+		t.Fatalf("want partial aborted result, got %+v", res)
+	}
+	if f := res.Final.Snapshot.Total.Frequency; f != 0 {
+		t.Errorf("outage reported as loss frequency %v", f)
+	}
+}
+
+// TestHandshakeDeadTargetFailsFast: a session against a target that was
+// never alive must fail at the liveness handshake — before a single probe
+// is paced — instead of measuring a ghost path for its whole horizon.
+func TestHandshakeDeadTargetFailsFast(t *testing.T) {
+	// Grab a loopback port with nothing behind it.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := pc.LocalAddr().String()
+	pc.Close()
+
+	tr, err := wiretransport.DialOptions(target, wire.SenderConfig{
+		ExpID: 3, P: 0.3, N: 1000, Slot: 10 * time.Millisecond, Seed: 3,
+	}, wiretransport.Options{
+		Liveness: wire.LivenessConfig{
+			Attempts: 2, Timeout: 100 * time.Millisecond,
+			Backoff: 50 * time.Millisecond, MaxBackoff: 100 * time.Millisecond, Seed: 3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	start := time.Now()
+	_, err = session.Run(context.Background(), tr, session.Config{
+		P: 0.3, Slots: 1000, Slot: 10 * time.Millisecond, Seed: 3,
+	}, nil)
+	if !errors.Is(err, session.ErrPathDead) {
+		t.Fatalf("Run returned %v, want ErrPathDead from the handshake", err)
+	}
+	if !errors.Is(err, wire.ErrNotAlive) {
+		t.Fatalf("handshake failure should wrap wire.ErrNotAlive: %v", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("dead target took %v to reject; must fail fast", took)
+	}
+}
+
+// TestFlakyReflectorRestart: Kill then Start rebinds the same address and
+// echoes again.
+func TestFlakyReflectorRestart(t *testing.T) {
+	fr := chaos.NewFlakyReflector(chaos.Fault{}, chaos.Fault{}, 5)
+	if err := fr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := fr.Addr().String()
+	fr.Kill()
+	if fr.Alive() {
+		t.Fatal("killed reflector claims alive")
+	}
+	if err := fr.Start(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer fr.Kill()
+	if got := fr.Addr().String(); got != addr {
+		t.Fatalf("restart moved the reflector: %s -> %s", addr, got)
+	}
+
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := wire.Handshake(context.Background(), conn, wire.LivenessConfig{
+		Attempts: 4, Timeout: 200 * time.Millisecond, Seed: 5,
+	}); err != nil {
+		t.Fatalf("restarted reflector not alive: %v", err)
+	}
+}

@@ -25,19 +25,24 @@ import (
 	"badabing/internal/badabing"
 	"badabing/internal/runner"
 	"badabing/internal/session"
+	"badabing/internal/wire"
 )
 
 // State is a session's lifecycle position.
 type State int
 
 // Session states. Pending sessions are created but waiting for a worker
-// slot; Done, Failed and Stopped are terminal.
+// slot; Done, Failed, Stopped and Degraded are terminal. Degraded marks a
+// session whose far end died mid-run (after any retries): it carries
+// partial estimates covering only the window the path was alive, clearly
+// flagged so the outage is never read as measured loss.
 const (
 	Pending State = iota
 	Running
 	Done
 	Failed
 	Stopped
+	Degraded
 )
 
 func (s State) String() string {
@@ -52,13 +57,17 @@ func (s State) String() string {
 		return "failed"
 	case Stopped:
 		return "stopped"
+	case Degraded:
+		return "degraded"
 	default:
 		return "unknown"
 	}
 }
 
 // Terminal reports whether the state is final.
-func (s State) Terminal() bool { return s == Done || s == Failed || s == Stopped }
+func (s State) Terminal() bool {
+	return s == Done || s == Failed || s == Stopped || s == Degraded
+}
 
 // MarshalJSON renders the state as its lowercase name.
 func (s State) MarshalJSON() ([]byte, error) {
@@ -71,7 +80,7 @@ func (s *State) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &name); err != nil {
 		return err
 	}
-	for _, st := range []State{Pending, Running, Done, Failed, Stopped} {
+	for _, st := range []State{Pending, Running, Done, Failed, Stopped, Degraded} {
 		if st.String() == name {
 			*s = st
 			return nil
@@ -120,6 +129,14 @@ type SessionConfig struct {
 	// so 0 means "as fast as the CPU allows"; set it to pace a session
 	// like a live one.
 	StepDelayMicros int64 `json:"step_delay_micros,omitempty"`
+	// MaxRetries re-queues a failed session up to this many times with
+	// capped exponential backoff before it goes terminal. Stopped
+	// (cancelled) sessions are never retried. Default 0 (no retries).
+	MaxRetries int `json:"max_retries,omitempty"`
+	// RetryBackoffMillis is the initial retry backoff; it doubles per
+	// attempt (capped, jittered — the same curve the wire liveness
+	// handshake uses). Default 500ms when MaxRetries > 0.
+	RetryBackoffMillis int64 `json:"retry_backoff_millis,omitempty"`
 }
 
 func (c *SessionConfig) applyDefaults() {
@@ -140,6 +157,9 @@ func (c *SessionConfig) applyDefaults() {
 	}
 	if c.StepSlots == 0 {
 		c.StepSlots = 1000
+	}
+	if c.MaxRetries > 0 && c.RetryBackoffMillis == 0 {
+		c.RetryBackoffMillis = 500
 	}
 }
 
@@ -166,6 +186,12 @@ func (c *SessionConfig) Validate() error {
 	if c.StepSlots < 0 || c.WindowSlots < 0 || c.StepDelayMicros < 0 {
 		return errors.New("fleet: negative step, window or delay")
 	}
+	if c.MaxRetries < 0 || c.MaxRetries > 100 {
+		return fmt.Errorf("fleet: max_retries %d out of range [0,100]", c.MaxRetries)
+	}
+	if c.RetryBackoffMillis < 0 {
+		return fmt.Errorf("fleet: negative retry backoff %dms", c.RetryBackoffMillis)
+	}
 	if _, err := scenarioOf(c.Scenario); err != nil {
 		return err
 	}
@@ -180,11 +206,13 @@ func (c *SessionConfig) Validate() error {
 type Totals struct {
 	SessionsCreated  int64
 	SessionsFinished int64
+	SessionRetries   int64
 	ProbesSent       int64
 	ProbesLost       int64
 	PacketsSent      int64
 	PacketsLost      int64
 	Experiments      int64
+	WriteFailures    int64
 }
 
 // Config parameterizes a Registry.
@@ -217,11 +245,13 @@ type Registry struct {
 	totals struct {
 		sessionsCreated  atomic.Int64
 		sessionsFinished atomic.Int64
+		sessionRetries   atomic.Int64
 		probesSent       atomic.Int64
 		probesLost       atomic.Int64
 		packetsSent      atomic.Int64
 		packetsLost      atomic.Int64
 		experiments      atomic.Int64
+		writeFailures    atomic.Int64
 	}
 
 	// runOverride substitutes the session body in tests (panic
@@ -254,6 +284,10 @@ func NewRegistry(cfg Config) *Registry {
 // ErrRegistryFull is returned by Create when MaxSessions is reached.
 var ErrRegistryFull = errors.New("fleet: session registry full")
 
+// ErrClosed is returned by Create once the registry is closing or
+// draining: the daemon is shutting down and accepts no new sessions.
+var ErrClosed = errors.New("fleet: registry closed")
+
 // ErrNotFound is returned for unknown session ids.
 var ErrNotFound = errors.New("fleet: session not found")
 
@@ -270,7 +304,7 @@ func (r *Registry) Create(cfg SessionConfig) (*Session, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return nil, errors.New("fleet: registry closed")
+		return nil, ErrClosed
 	}
 	if len(r.sessions) >= r.cfg.MaxSessions {
 		r.mu.Unlock()
@@ -300,29 +334,58 @@ func (r *Registry) Create(cfg SessionConfig) (*Session, error) {
 	if run == nil {
 		run = runSession
 	}
-	job := r.pool.Start(ctx, []runner.Cell{{
-		Key: "fleet/" + id,
-		Run: func(ctx context.Context, seed int64) (v any, err error) {
-			// Panic isolation: a crashing session must fail alone,
-			// not take the daemon down.
-			defer func() {
-				if p := recover(); p != nil {
-					err = fmt.Errorf("fleet: session %s panicked: %v", id, p)
-				}
-			}()
-			s.setRunning()
-			return nil, run(ctx, s, seed)
-		},
-	}})
+	submit := func() *runner.Job {
+		return r.pool.Start(ctx, []runner.Cell{{
+			Key: "fleet/" + id,
+			Run: func(ctx context.Context, seed int64) (v any, err error) {
+				// Panic isolation: a crashing session must fail alone,
+				// not take the daemon down.
+				defer func() {
+					if p := recover(); p != nil {
+						err = fmt.Errorf("fleet: session %s panicked: %v", id, p)
+					}
+				}()
+				s.setRunning()
+				return nil, run(ctx, s, seed)
+			},
+		}})
+	}
+	// Failed wire sessions re-queue with capped exponential backoff on the
+	// same jittered curve the liveness handshake uses. Cancellation is
+	// never retried — a stop is a stop.
+	backoff := wire.LivenessConfig{
+		Attempts:   cfg.MaxRetries + 1,
+		Backoff:    time.Duration(cfg.RetryBackoffMillis) * time.Millisecond,
+		MaxBackoff: 30 * time.Second,
+		Seed:       cfg.Seed,
+	}.BackoffSchedule()
 	go func() {
 		defer r.wg.Done()
-		results, _, _ := job.Wait()
-		var err error
-		if len(results) > 0 {
-			err = results[0].Err
+		defer r.totals.sessionsFinished.Add(1)
+		job := submit()
+		for attempt := 0; ; attempt++ {
+			results, _, _ := job.Wait()
+			var err error
+			if len(results) > 0 {
+				err = results[0].Err
+			}
+			if err == nil || errors.Is(err, context.Canceled) ||
+				ctx.Err() != nil || attempt >= cfg.MaxRetries {
+				s.finish(err)
+				return
+			}
+			s.beginRetry()
+			r.totals.sessionRetries.Add(1)
+			timer := time.NewTimer(backoff[attempt])
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				s.finish(ctx.Err())
+				return
+			case <-timer.C:
+			}
+			job = submit()
 		}
-		s.finish(err)
-		r.totals.sessionsFinished.Add(1)
 	}()
 	return s, nil
 }
@@ -399,11 +462,13 @@ func (r *Registry) Totals() Totals {
 	return Totals{
 		SessionsCreated:  r.totals.sessionsCreated.Load(),
 		SessionsFinished: r.totals.sessionsFinished.Load(),
+		SessionRetries:   r.totals.sessionRetries.Load(),
 		ProbesSent:       r.totals.probesSent.Load(),
 		ProbesLost:       r.totals.probesLost.Load(),
 		PacketsSent:      r.totals.packetsSent.Load(),
 		PacketsLost:      r.totals.packetsLost.Load(),
 		Experiments:      r.totals.experiments.Load(),
+		WriteFailures:    r.totals.writeFailures.Load(),
 	}
 }
 
@@ -418,6 +483,39 @@ func (r *Registry) Close() {
 	r.mu.Unlock()
 	r.cancel()
 	r.wg.Wait()
+}
+
+// Drain is the graceful-shutdown form of Close: it stops accepting new
+// sessions, cancels every in-flight one (each snapshots its partial
+// estimates at the cancellation harvest) and waits up to timeout for them
+// to wind down. It reports whether everything finished within the
+// deadline; on false the daemon should exit anyway — the deadline exists
+// so shutdown is bounded.
+func (r *Registry) Drain(timeout time.Duration) bool {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cancel()
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return true
+	case <-timer.C:
+		return false
+	}
+}
+
+// Draining reports whether the registry has stopped accepting sessions.
+func (r *Registry) Draining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
 }
 
 // Session is one measurement in the fleet. Exported fields are immutable
@@ -436,6 +534,7 @@ type Session struct {
 	started  time.Time
 	finished time.Time
 	seed     int64
+	retries  int
 
 	snap      badabing.StreamSnapshot
 	slotsDone int64
@@ -447,13 +546,16 @@ type Session struct {
 }
 
 // SessionCounters are a session's probe-level tallies so far.
+// WriteFailures counts probe-socket write errors on wire sessions — a
+// burst of them is the signature of a refused (crashed) far end.
 type SessionCounters struct {
-	ProbesSent  int64 `json:"probes_sent"`
-	ProbesLost  int64 `json:"probes_lost"`
-	PacketsSent int64 `json:"packets_sent"`
-	PacketsLost int64 `json:"packets_lost"`
-	Experiments int64 `json:"experiments"`
-	Skipped     int64 `json:"skipped"`
+	ProbesSent    int64 `json:"probes_sent"`
+	ProbesLost    int64 `json:"probes_lost"`
+	PacketsSent   int64 `json:"packets_sent"`
+	PacketsLost   int64 `json:"packets_lost"`
+	Experiments   int64 `json:"experiments"`
+	Skipped       int64 `json:"skipped"`
+	WriteFailures int64 `json:"write_failures,omitempty"`
 }
 
 // Config returns the session's (defaulted) configuration.
@@ -490,6 +592,14 @@ func (s *Session) Counters() SessionCounters {
 
 // Stop cancels the session.
 func (s *Session) Stop() { s.cancel() }
+
+// Retries returns how many times the session has been re-queued after a
+// failure.
+func (s *Session) Retries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retries
+}
 
 func (s *Session) setRunning() {
 	s.mu.Lock()
@@ -532,10 +642,35 @@ func (s *Session) finish(err error) {
 		s.state = Done
 	case errors.Is(err, context.Canceled):
 		s.state = Stopped
+	case errors.Is(err, session.ErrPathDead):
+		// The far end died mid-run (after any retries). The last
+		// published snapshot holds the partial estimates from the alive
+		// window; Degraded flags them so the outage is never read as
+		// measured loss.
+		s.state = Degraded
+		s.err = err
 	default:
 		s.state = Failed
 		s.err = err
 	}
+}
+
+// beginRetry resets a failed session for another attempt: back to Pending
+// with a clean snapshot and zeroed counters. The reset bypasses publish —
+// the registry's lifetime totals stay monotone; the retry's own probes
+// re-accumulate from zero.
+func (s *Session) beginRetry() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retries++
+	s.state = Pending
+	s.started = time.Time{}
+	s.err = nil
+	s.snap = badabing.StreamSnapshot{}
+	s.snap.LastSlot = -1
+	s.slotsDone = 0
+	s.counters = SessionCounters{}
+	s.tr = nil
 }
 
 // publish stores a new snapshot and counter set, accumulating the deltas
@@ -553,6 +688,9 @@ func (s *Session) publish(snap badabing.StreamSnapshot, slotsDone int64, c Sessi
 	t.packetsSent.Add(c.PacketsSent - prev.PacketsSent)
 	t.packetsLost.Add(c.PacketsLost - prev.PacketsLost)
 	t.experiments.Add(c.Experiments - prev.Experiments)
+	if d := c.WriteFailures - prev.WriteFailures; d > 0 {
+		t.writeFailures.Add(d)
+	}
 }
 
 // View is the JSON shape of a session in the HTTP API.
@@ -567,6 +705,7 @@ type View struct {
 	Started   *time.Time              `json:"started,omitempty"`
 	Finished  *time.Time              `json:"finished,omitempty"`
 	SlotsDone int64                   `json:"slots_done"`
+	Retries   int                     `json:"retries,omitempty"`
 	Counters  SessionCounters         `json:"counters"`
 	Snapshot  badabing.StreamSnapshot `json:"snapshot"`
 }
@@ -583,6 +722,7 @@ func (s *Session) View() View {
 		Seed:      s.seed,
 		Created:   s.created,
 		SlotsDone: s.slotsDone,
+		Retries:   s.retries,
 		Counters:  s.counters,
 		Snapshot:  s.snap,
 	}

@@ -3,8 +3,14 @@ package fleet
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 )
+
+// maxCreateBody bounds the create endpoint's request body: a
+// SessionConfig is a few hundred bytes, so 1 MiB is generous and keeps a
+// hostile client from buffering the daemon into the ground.
+const maxCreateBody = 1 << 20
 
 // NewHandler returns the daemon's HTTP API for a registry:
 //
@@ -18,22 +24,37 @@ import (
 //	GET    /healthz               liveness
 //
 // All non-metrics responses are JSON; errors are {"error": "..."}.
-func NewHandler(r *Registry) http.Handler {
+// Malformed or unknown-field JSON and invalid configs are client errors
+// (400), never 500s; oversized bodies are cut off at 1 MiB (413); a
+// draining registry answers 503.
+//
+// extra metric sources (e.g. a co-hosted reflector's counters) are
+// appended to the /metrics exposition.
+func NewHandler(r *Registry, extra ...func(io.Writer)) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
+		req.Body = http.MaxBytesReader(w, req.Body, maxCreateBody)
 		var cfg SessionConfig
 		dec := json.NewDecoder(req.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&cfg); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge, err)
+				return
+			}
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 		s, err := r.Create(cfg)
 		if err != nil {
 			status := http.StatusBadRequest
-			if errors.Is(err, ErrRegistryFull) {
+			switch {
+			case errors.Is(err, ErrRegistryFull):
 				status = http.StatusTooManyRequests
+			case errors.Is(err, ErrClosed):
+				status = http.StatusServiceUnavailable
 			}
 			writeError(w, status, err)
 			return
@@ -98,6 +119,9 @@ func NewHandler(r *Registry) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteMetrics(w, r)
+		for _, f := range extra {
+			f(w)
+		}
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {

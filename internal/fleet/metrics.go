@@ -21,6 +21,7 @@ func WriteMetrics(w io.Writer, r *Registry) {
 		sample{labels: lbl("state", "done"), value: float64(counts[Done])},
 		sample{labels: lbl("state", "failed"), value: float64(counts[Failed])},
 		sample{labels: lbl("state", "stopped"), value: float64(counts[Stopped])},
+		sample{labels: lbl("state", "degraded"), value: float64(counts[Degraded])},
 	)
 	gauge(w, "badabingd_queue_depth", "Sessions waiting for a worker slot.",
 		sample{labels: lbl("queue", "pending"), value: float64(counts[Pending])})
@@ -34,6 +35,8 @@ func WriteMetrics(w io.Writer, r *Registry) {
 	counter(w, "badabingd_packets_sent_total", "Probe packets sent across all sessions.", float64(t.PacketsSent))
 	counter(w, "badabingd_packets_lost_total", "Probe packets lost across all sessions.", float64(t.PacketsLost))
 	counter(w, "badabingd_experiments_total", "Experiment outcomes fed to the estimators.", float64(t.Experiments))
+	counter(w, "badabingd_session_retries_total", "Failed sessions re-queued by the retry policy.", float64(t.SessionRetries))
+	counter(w, "badabingd_wire_write_failures_total", "Probe-socket write errors across wire sessions.", float64(t.WriteFailures))
 
 	var freq, dur, m []sample
 	for _, s := range r.List() {

@@ -67,13 +67,15 @@ func simScenario(build func(seed int64) (*simnet.Sim, *simnet.Dumbbell)) transpo
 // experiment id; the schedule seed is pinned so sender and collector agree
 // on the schedule.
 func wireScenario(cfg SessionConfig, seed int64, slot time.Duration) (session.Transport, error) {
-	return wiretransport.Dial(cfg.Target, wire.SenderConfig{
+	return wiretransport.DialOptions(cfg.Target, wire.SenderConfig{
 		ExpID:    uint64(seed),
 		P:        cfg.P,
 		N:        cfg.Slots,
 		Slot:     slot,
 		Improved: !cfg.Basic,
 		Seed:     seed,
+	}, wiretransport.Options{
+		Liveness: wire.LivenessConfig{Seed: seed},
 	})
 }
 
@@ -111,7 +113,22 @@ func runSession(ctx context.Context, s *Session, seed int64) error {
 		StepSlots:        cfg.StepSlots,
 		StepDelay:        time.Duration(cfg.StepDelayMicros) * time.Microsecond,
 	}, func(u session.Update) {
-		s.publish(u.Snapshot, u.SlotsDone, SessionCounters(u.Counters))
+		c := SessionCounters{
+			ProbesSent:  u.Counters.ProbesSent,
+			ProbesLost:  u.Counters.ProbesLost,
+			PacketsSent: u.Counters.PacketsSent,
+			PacketsLost: u.Counters.PacketsLost,
+			Experiments: u.Counters.Experiments,
+			Skipped:     u.Counters.Skipped,
+		}
+		if wf, ok := tr.(writeFailureSource); ok {
+			c.WriteFailures = wf.WriteFailures()
+		}
+		s.publish(u.Snapshot, u.SlotsDone, c)
 	})
 	return err
 }
+
+// writeFailureSource is implemented by transports that count probe-socket
+// write errors (the wire transport); simulated paths have none.
+type writeFailureSource interface{ WriteFailures() int64 }

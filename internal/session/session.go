@@ -20,11 +20,21 @@ package session
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"badabing/internal/badabing"
 )
+
+// ErrPathDead reports that a transport decided the far end of the path is
+// dead — refused, crashed or blackholed — rather than lossy. BADABING
+// treats loss as the measurement signal, so this distinction must be made
+// out-of-band (liveness probing, write-failure runs, watchdogs): a session
+// that kept measuring a dead path would report the outage as a
+// perfectly-measured F≈1 loss episode. Transports wrap this sentinel;
+// Run reacts by aborting with a partial, clearly-flagged Result.
+var ErrPathDead = errors.New("session: far end dead (infrastructure failure, not path loss)")
 
 // DefaultSettle is how far behind session "now" a probe must be before its
 // observation is considered stable enough to harvest. It bounds path delay
@@ -154,6 +164,11 @@ type Result struct {
 	// Marked is the final per-slot congestion bit map (slots of invalid
 	// probes absent), as fed to the estimators.
 	Marked map[int64]bool
+	// Aborted flags a session cut short because the transport declared
+	// the far end dead (ErrPathDead). Final then holds partial estimates
+	// covering only the probes answered while the path was alive — the
+	// outage itself is excluded, never reported as measured loss.
+	Aborted bool
 }
 
 // Run drives a full measurement session over the transport: it draws the
@@ -193,6 +208,17 @@ func Run(ctx context.Context, tr Transport, cfg Config, publish func(Update)) (*
 			t = horizon + cfg.Settle
 		}
 		if err := tr.AdvanceTo(ctx, t); err != nil {
+			if errors.Is(err, ErrPathDead) {
+				// The far end died mid-run: harvest what had settled
+				// while the path was alive (the transport truncates its
+				// observations at the death point) and surface a
+				// partial, flagged result alongside the error.
+				h.harvest(tr, tr.Now(), true)
+				res.Final = h.last
+				res.Marked = h.marked
+				res.Aborted = true
+				return res, err
+			}
 			return nil, err
 		}
 		h.harvest(tr, t, end)

@@ -1,0 +1,128 @@
+package wiretransport_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"badabing/internal/session"
+	"badabing/internal/session/wiretransport"
+	"badabing/internal/wire"
+)
+
+func startReflector(t *testing.T) (*wire.Reflector, string) {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refl := wire.NewReflector(pc)
+	go refl.Run()
+	t.Cleanup(func() { refl.Close() })
+	return refl, pc.LocalAddr().String()
+}
+
+// TestSessionCancelMidRun cancels a live wire session partway through:
+// session.Run must return promptly with context.Canceled, Close must not
+// hang, the partial SendStats must be sane, and no goroutines may leak.
+func TestSessionCancelMidRun(t *testing.T) {
+	_, addr := startReflector(t)
+
+	before := runtime.NumGoroutine()
+
+	const (
+		p     = 0.3
+		slots = 2000 // 20s horizon — cancellation must cut it to ~300ms
+		slotW = 10 * time.Millisecond
+	)
+	tr, err := wiretransport.DialOptions(addr, wire.SenderConfig{
+		ExpID: 21, P: p, N: slots, Slot: slotW, Improved: true, Seed: 21,
+	}, wiretransport.Options{
+		Liveness: wire.LivenessConfig{Seed: 21},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+
+	start := time.Now()
+	res, err := session.Run(ctx, tr, session.Config{
+		P: p, Slots: slots, Slot: slotW, Improved: true, Seed: 21,
+		StepSlots: 20, Settle: 200 * time.Millisecond,
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled run returned a result: %+v", res)
+	}
+	if took := time.Since(start); took > 3*time.Second {
+		t.Fatalf("cancellation took %v to unwind", took)
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- tr.Close() }()
+	select {
+	case <-closed:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close hung after cancellation")
+	}
+
+	st := tr.SendStats()
+	if st.Packets == 0 {
+		t.Fatal("no packets sent before cancellation")
+	}
+	if st.DeadSlot != -1 {
+		t.Fatalf("cancellation flagged as dead path: %+v", st)
+	}
+	if tr.DeadFrom() >= 0 {
+		t.Fatalf("cancellation marked the path dead at %v", tr.DeadFrom())
+	}
+
+	// The pacer, collector and watchdog helpers must all unwind.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after cancel: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestHandshakeAgainstReflector: the pre-session handshake succeeds
+// quickly against a live reflector and stamps nothing into the probe
+// stream (the collector sees no spurious probe slots from pings).
+func TestHandshakeAgainstReflector(t *testing.T) {
+	refl, addr := startReflector(t)
+
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rtt, err := wire.Handshake(context.Background(), conn, wire.LivenessConfig{Seed: 31})
+	if err != nil {
+		t.Fatalf("handshake against live reflector: %v", err)
+	}
+	if rtt <= 0 {
+		t.Fatalf("non-positive RTT %v", rtt)
+	}
+	// Liveness traffic must not pollute the probe counters.
+	if got := refl.Packets(); got != 0 {
+		t.Fatalf("pings counted as %d probe packets", got)
+	}
+	if refl.Pings() == 0 {
+		t.Fatal("reflector answered no pings")
+	}
+}

@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestSendSlotsCancelMidRun cancels a paced send partway through its
+// schedule: SendSlots must return promptly with the context error and a
+// sane partial SendStats — some probes sent, not all, and no spurious
+// dead-path verdict.
+func TestSendSlotsCancelMidRun(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refl := NewReflector(pc)
+	go refl.Run()
+	defer refl.Close()
+
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	cfg := SenderConfig{
+		ExpID: 11, P: 0.3, N: 1000, Slot: 5 * time.Millisecond, Seed: 11,
+	}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	slots := make([]int64, 1000)
+	for i := range slots {
+		slots[i] = int64(i)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var emitted int
+	done := make(chan struct{})
+	var st SendStats
+	var sendErr error
+	go func() {
+		defer close(done)
+		st, sendErr = SendSlots(ctx, conn, cfg, slots, time.Now(), func(i int, slot int64) {
+			emitted++
+		})
+	}()
+	time.Sleep(150 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("SendSlots did not return after cancellation")
+	}
+
+	if !errors.Is(sendErr, context.Canceled) {
+		t.Fatalf("SendSlots returned %v, want context.Canceled", sendErr)
+	}
+	if st.Packets == 0 {
+		t.Fatal("no packets sent before cancellation")
+	}
+	if emitted == 0 || emitted >= len(slots) {
+		t.Fatalf("emitted %d probes, want partial progress over %d slots", emitted, len(slots))
+	}
+	if st.Packets >= len(slots)*cfg.PacketsPerProbe {
+		t.Fatalf("stats claim a full send: %+v", st)
+	}
+	if st.DeadSlot != -1 {
+		t.Fatalf("cancellation flagged as dead path: DeadSlot=%d", st.DeadSlot)
+	}
+	if st.WriteFailures != 0 {
+		t.Fatalf("clean loopback recorded %d write failures", st.WriteFailures)
+	}
+}

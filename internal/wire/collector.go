@@ -41,6 +41,9 @@ type Collector struct {
 	sessions    map[uint64]*colSession
 	queryMarker badabing.MarkerConfig
 	closed      bool
+
+	lastPongNonce uint64
+	lastPongAt    time.Time
 }
 
 // NewCollector wraps an open packet socket. Call Run to start receiving.
@@ -56,12 +59,34 @@ func (c *Collector) Run() {
 		n, addr, err := c.conn.ReadFrom(buf)
 		now := time.Now()
 		if err != nil {
+			if transientReadError(err) {
+				// A connected socket whose far end died reports the
+				// ICMP-unreachable burst on reads too; the collector
+				// must outlive it — the far end may restart, and the
+				// log it holds is the session's partial evidence.
+				continue
+			}
 			return
 		}
 		if expID, ok := parseQuery(buf[:n]); ok {
 			// Control queries are rare; answer off the hot path so
 			// assembly does not stall probe reception.
 			go c.handleQuery(expID, addr)
+			continue
+		}
+		if kind, nonce, _, ok := parseLiveness(buf[:n]); ok {
+			switch kind {
+			case livenessPing:
+				// Symmetric liveness: a collector target proves itself
+				// alive the same way a reflector does.
+				c.conn.WriteTo(pongFor(nonce, now.UnixNano()), addr)
+			case livenessPong:
+				// A watchdog's mid-run re-check routes its pong through
+				// us, since we own the socket's read side.
+				c.mu.Lock()
+				c.lastPongNonce, c.lastPongAt = nonce, now
+				c.mu.Unlock()
+			}
 			continue
 		}
 		var h Header
@@ -104,6 +129,30 @@ func (c *Collector) record(h *Header, now time.Time) {
 	if late := time.Duration(h.SendTime - scheduled); late > r.maxLate {
 		r.maxLate = late
 	}
+}
+
+// LastPong reports the most recently received liveness pong (nonce and
+// arrival time). ok is false until any pong has arrived.
+func (c *Collector) LastPong() (nonce uint64, at time.Time, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastPongNonce, c.lastPongAt, !c.lastPongAt.IsZero()
+}
+
+// ReceivedSlots returns the per-slot received-packet counts of a session
+// (a copy). The wire transport's watchdog uses it to tell a lossy path
+// (scattered gaps) from a dead far end (an unbroken trailing run of
+// unanswered probes).
+func (c *Collector) ReceivedSlots(expID uint64) map[int64]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int64]int)
+	if s := c.sessions[expID]; s != nil {
+		for slot, r := range s.probes {
+			out[slot] = r.got
+		}
+	}
+	return out
 }
 
 // Sessions lists the ExpIDs seen so far.

@@ -106,6 +106,43 @@ func FuzzControlReply(f *testing.F) {
 	})
 }
 
+// FuzzLiveness throws arbitrary bytes at the liveness-frame parser: it
+// must never panic, must reject short frames, foreign magics/versions and
+// unknown kinds, and everything it accepts must round-trip through
+// marshalLiveness unchanged.
+func FuzzLiveness(f *testing.F) {
+	f.Add(marshalLiveness(livenessPing, 7, 1234))
+	f.Add(marshalLiveness(livenessPong, ^uint64(0), -1))
+	f.Add(pongFor(42, 99))
+	f.Add([]byte{})
+	f.Add([]byte{0x42, 0x42, 0x4C, 0x56}) // magic alone, truncated
+	f.Add(marshalLiveness(livenessPing, 7, 1)[:livenessSize-1])
+	f.Add(append(marshalLiveness(livenessPing, 7, 1), 0xFF)) // trailing junk
+	wrongVer := marshalLiveness(livenessPing, 7, 1)
+	wrongVer[4] = Version + 1
+	f.Add(wrongVer)
+	wrongKind := marshalLiveness(livenessPing, 7, 1)
+	wrongKind[5] = 9
+	f.Add(wrongKind)
+	hdr := make([]byte, HeaderSize) // a probe header is not a liveness frame
+	(&Header{P: 0.3, N: 100, SlotWidth: time.Millisecond, Seed: 1}).Marshal(hdr)
+	f.Add(hdr)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, nonce, sendTime, ok := parseLiveness(data)
+		if !ok {
+			return
+		}
+		if kind != livenessPing && kind != livenessPong {
+			t.Fatalf("accepted unknown kind %d", kind)
+		}
+		kind2, nonce2, sendTime2, ok2 := parseLiveness(marshalLiveness(kind, nonce, sendTime))
+		if !ok2 || kind2 != kind || nonce2 != nonce || sendTime2 != sendTime {
+			t.Fatalf("liveness round trip diverged: (%d,%d,%d,%v) vs (%d,%d,%d)",
+				kind2, nonce2, sendTime2, ok2, kind, nonce, sendTime)
+		}
+	})
+}
+
 // FuzzZingHeaderUnmarshal does the same for the ZING format.
 func FuzzZingHeaderUnmarshal(f *testing.F) {
 	seedBuf := make([]byte, ZingHeaderSize)

@@ -17,6 +17,7 @@ type Reflector struct {
 
 	packets atomic.Uint64
 	dropped atomic.Uint64
+	pings   atomic.Uint64
 
 	mu     sync.Mutex
 	tap    func(data []byte, from net.Addr)
@@ -37,7 +38,9 @@ func (r *Reflector) SetTap(tap func(data []byte, from net.Addr)) {
 	r.tap = tap
 }
 
-// Run echoes datagrams until the socket is closed.
+// Run echoes datagrams until the socket is closed. Liveness pings are
+// answered with pongs instead of echoed, and are tallied separately so
+// probe accounting stays exact.
 func (r *Reflector) Run() {
 	r.mu.Lock()
 	tap := r.tap
@@ -46,7 +49,22 @@ func (r *Reflector) Run() {
 	for {
 		n, addr, err := r.conn.ReadFrom(buf)
 		if err != nil {
+			if transientReadError(err) {
+				// An ICMP-unreachable burst from a vanished peer
+				// surfaces as read errors; the socket is still good
+				// and other peers must keep being served.
+				continue
+			}
 			return
+		}
+		if kind, nonce, _, ok := parseLiveness(buf[:n]); ok {
+			if kind == livenessPing {
+				r.pings.Add(1)
+				if _, err := r.conn.WriteTo(pongFor(nonce, nowNano()), addr); err != nil {
+					r.dropped.Add(1)
+				}
+			}
+			continue
 		}
 		r.packets.Add(1)
 		if tap != nil {
@@ -58,8 +76,17 @@ func (r *Reflector) Run() {
 	}
 }
 
-// Packets returns how many datagrams have been received so far.
+// Packets returns how many datagrams have been received so far (liveness
+// pings excluded; see Pings).
 func (r *Reflector) Packets() uint64 { return r.packets.Load() }
+
+// Pings returns how many liveness pings have been answered.
+func (r *Reflector) Pings() uint64 { return r.pings.Load() }
+
+// Dropped returns how many echo (or pong) writes failed. A non-zero count
+// with a live socket means the reflector's send path is impaired — the
+// far-side write-failure signal badabingd surfaces in /metrics.
+func (r *Reflector) Dropped() uint64 { return r.dropped.Load() }
 
 // Addr returns the socket's local address.
 func (r *Reflector) Addr() net.Addr { return r.conn.LocalAddr() }

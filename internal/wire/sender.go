@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"badabing/internal/badabing"
+	"badabing/internal/session"
 )
 
 // nowNano supplies the clock-derived default for unpinned seeds. Tests
@@ -76,20 +77,38 @@ type SendStats struct {
 	// it approaches the slot width, the host cannot sustain this
 	// discretization (§7).
 	MaxLag time.Duration
+	// WriteFailures counts probe-packet writes the socket rejected.
+	// Transient failures (an ICMP-refused burst while a reflector
+	// restarts) are tolerated and counted rather than aborting the
+	// session; only an unbroken run of them kills the send.
+	WriteFailures int
+	// DeadSlot is the slot where the terminal run of consecutive write
+	// failures began, or -1 if the send did not die that way. The wire
+	// transport truncates its observations there so the outage is never
+	// reported as measured loss.
+	DeadSlot int64
 }
+
+// maxConsecutiveWriteFailures is how many probe-packet writes may fail in
+// an unbroken run before the sender declares the far end dead. At the
+// default 3 packets per probe this is 10 straight probes with a rejected
+// send path — well past any transient refused burst, and cheap to reach
+// quickly when a connected UDP socket returns ECONNREFUSED for a closed
+// far end.
+const maxConsecutiveWriteFailures = 30
 
 // Send runs a full measurement session over conn (a connected UDP socket),
 // pacing probes onto their slot deadlines. It blocks until the session
 // completes or ctx is cancelled.
 func Send(ctx context.Context, conn net.Conn, cfg SenderConfig) (SendStats, error) {
 	if err := cfg.applyDefaults(); err != nil {
-		return SendStats{}, err
+		return SendStats{DeadSlot: -1}, err
 	}
 	plans, err := badabing.Schedule(badabing.ScheduleConfig{
 		P: cfg.P, N: cfg.N, Improved: cfg.Improved, Seed: cfg.Seed,
 	})
 	if err != nil {
-		return SendStats{}, err
+		return SendStats{DeadSlot: -1}, err
 	}
 	st, err := SendSlots(ctx, conn, cfg, badabing.ProbeSlots(plans), time.Now(), nil)
 	st.Experiments = len(plans)
@@ -104,11 +123,14 @@ func Send(ctx context.Context, conn net.Conn, cfg SenderConfig) (SendStats, erro
 // emission progress. cfg must already be defaulted and carry a valid Seed;
 // Send wraps this with schedule generation for standalone use.
 func SendSlots(ctx context.Context, conn net.Conn, cfg SenderConfig, slots []int64, start time.Time, onProbe func(i int, slot int64)) (SendStats, error) {
-	var st SendStats
+	st := SendStats{DeadSlot: -1}
 	if err := cfg.applyDefaults(); err != nil {
 		return st, err
 	}
 	st.Probes = len(slots)
+	var consecFails int
+	var failRunSlot int64
+	var lastWriteErr error
 
 	buf := make([]byte, cfg.PacketSize)
 	var seq uint64
@@ -160,8 +182,24 @@ func SendSlots(ctx context.Context, conn net.Conn, cfg SenderConfig, slots []int
 				return st, err
 			}
 			if _, err := conn.Write(buf); err != nil {
-				return st, fmt.Errorf("wire: send slot %d: %w", slot, err)
+				// A rejected write is infrastructure failure, not path
+				// loss: count it and keep pacing. Only an unbroken run
+				// long enough to rule out a transient declares the far
+				// end dead.
+				st.WriteFailures++
+				if consecFails == 0 {
+					failRunSlot = slot
+				}
+				consecFails++
+				lastWriteErr = err
+				if consecFails >= maxConsecutiveWriteFailures {
+					st.DeadSlot = failRunSlot
+					return st, fmt.Errorf("wire: %d consecutive write failures from slot %d (%v): %w",
+						consecFails, failRunSlot, lastWriteErr, session.ErrPathDead)
+				}
+				continue
 			}
+			consecFails = 0
 			st.Packets++
 		}
 		if onProbe != nil {
