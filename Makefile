@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check chaos bench bench-full fuzz experiments clean
+.PHONY: all build vet test race check chaos bench bench-smoke bench-paper bench-full fuzz experiments clean
 
 all: build vet test
 
@@ -27,16 +27,27 @@ check:
 
 # Fault-injection matrix under the race detector: every impairment class
 # (drop, duplicate, reorder, delay, truncate, corrupt, bursts) against a
-# live session, plus the dead-reflector abort, fleet retry and daemon
-# drain paths.
+# live session, the batch-vs-fallback estimate parity row, plus the
+# dead-reflector abort, fleet retry and daemon drain paths.
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/... \
-		-run 'TestImpaired|TestHung|TestKilled|TestHandshake|TestFlaky'
+		-run 'TestImpaired|TestBatchFallbackParity|TestHung|TestKilled|TestHandshake|TestFlaky'
 	$(GO) test -race -count=1 ./internal/session/wiretransport/... ./cmd/badabingd/...
 	$(GO) test -race -count=1 ./internal/fleet/ -run 'TestWireSession|TestCreateAPIHardening|TestRetry'
 
-# Shortened-horizon benchmarks: one per paper table/figure plus ablations.
+# Wire hot-path benchmark harness: reflector throughput (batch vs
+# single-packet), sender pacing-error distribution, and session cost at
+# 1/16/64 concurrent sessions. Writes BENCH_6.json (see README).
 bench:
+	$(GO) run ./cmd/benchx -out BENCH_6.json
+
+# CI smoke: short workloads, gated against the committed baseline — fails
+# on a >20% regression of the batch/single speedup ratio.
+bench-smoke:
+	$(GO) run ./cmd/benchx -short -out BENCH_6.smoke.json -baseline BENCH_6.json
+
+# Shortened-horizon paper benchmarks: one per table/figure plus ablations.
+bench-paper:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
 # Paper-scale benchmarks (same horizons as the paper's 900 s runs).

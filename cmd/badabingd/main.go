@@ -50,6 +50,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	maxConcurrent := fs.Int("max-concurrent", 0, "max concurrently running sessions (0 = GOMAXPROCS)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight sessions")
 	reflect := fs.String("reflect", "", "also host a UDP echo reflector on this address (e.g. :8643)")
+	reflectShards := fs.Int("reflect-shards", wire.DefaultReflectorShards(),
+		"echo goroutines for the co-hosted reflector (each with its own recvmmsg/sendmmsg batch state)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,10 +70,15 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		if err != nil {
 			return fmt.Errorf("reflector: %w", err)
 		}
-		refl := wire.NewReflector(pc)
+		refl := wire.NewReflectorConfig(pc, wire.ReflectorConfig{Shards: *reflectShards})
+		refl.OnReadError(func(err error) {
+			// Surfaced once per persistent error class (the loop keeps
+			// serving); the running count rides on /metrics.
+			fmt.Fprintf(logw, "badabingd: reflector read errors: %v\n", err)
+		})
 		go refl.Run()
 		defer refl.Close()
-		fmt.Fprintf(logw, "badabingd: reflecting on %s\n", pc.LocalAddr())
+		fmt.Fprintf(logw, "badabingd: reflecting on %s (%d shards)\n", pc.LocalAddr(), refl.Shards())
 		extra = append(extra, func(w io.Writer) { writeReflectorMetrics(w, refl) })
 	}
 
@@ -131,4 +138,26 @@ func writeReflectorMetrics(w io.Writer, refl *wire.Reflector) {
 	fmt.Fprintf(w, "# HELP badabingd_reflector_dropped_total Reflector write failures (echoes or pongs it could not send).\n")
 	fmt.Fprintf(w, "# TYPE badabingd_reflector_dropped_total counter\n")
 	fmt.Fprintf(w, "badabingd_reflector_dropped_total %d\n", refl.Dropped())
+	fmt.Fprintf(w, "# HELP badabingd_reflector_read_errors_total Transient read errors the reflector loops survived (monotone; current class logged once per change).\n")
+	fmt.Fprintf(w, "# TYPE badabingd_reflector_read_errors_total counter\n")
+	readErrs, _ := refl.ReadErrors()
+	fmt.Fprintf(w, "badabingd_reflector_read_errors_total %d\n", readErrs)
+	// Per-shard rows: the aggregates above are their exact sums, so a
+	// cold shard (scheduling imbalance, wedged batch state) is visible.
+	fmt.Fprintf(w, "# HELP badabingd_reflector_shard_packets_total Probe packets echoed, by echo shard.\n")
+	fmt.Fprintf(w, "# TYPE badabingd_reflector_shard_packets_total counter\n")
+	shards := refl.ShardCounts()
+	for i, s := range shards {
+		fmt.Fprintf(w, "badabingd_reflector_shard_packets_total{shard=%q} %d\n", fmt.Sprint(i), s.Packets)
+	}
+	fmt.Fprintf(w, "# HELP badabingd_reflector_shard_pings_total Liveness pings answered, by echo shard.\n")
+	fmt.Fprintf(w, "# TYPE badabingd_reflector_shard_pings_total counter\n")
+	for i, s := range shards {
+		fmt.Fprintf(w, "badabingd_reflector_shard_pings_total{shard=%q} %d\n", fmt.Sprint(i), s.Pings)
+	}
+	fmt.Fprintf(w, "# HELP badabingd_reflector_shard_dropped_total Write failures, by echo shard.\n")
+	fmt.Fprintf(w, "# TYPE badabingd_reflector_shard_dropped_total counter\n")
+	for i, s := range shards {
+		fmt.Fprintf(w, "badabingd_reflector_shard_dropped_total{shard=%q} %d\n", fmt.Sprint(i), s.Dropped)
+	}
 }

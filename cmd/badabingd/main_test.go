@@ -134,6 +134,12 @@ func TestDaemonGracefulDrain(t *testing.T) {
 	if !strings.Contains(string(body), "badabingd_reflector_packets_total") {
 		t.Errorf("metrics missing reflector counters:\n%s", body)
 	}
+	if !strings.Contains(string(body), `badabingd_reflector_shard_packets_total{shard="0"}`) {
+		t.Errorf("metrics missing per-shard reflector rows:\n%s", body)
+	}
+	if !strings.Contains(string(body), "badabingd_reflector_read_errors_total") {
+		t.Errorf("metrics missing reflector read-error counter:\n%s", body)
+	}
 
 	// A slow session that would run for ~2 minutes unattended: the drain
 	// must cut it short.

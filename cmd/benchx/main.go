@@ -1,0 +1,91 @@
+// Command benchx runs the wire hot-path benchmark harness and writes a
+// machine-readable report (see internal/benchx). With -baseline it also
+// acts as the CI regression gate: the run fails if the batched
+// reflector's speedup over the single-packet baseline has regressed by
+// more than -tolerance relative to the committed report.
+//
+// The gate compares the batch/single speedup ratio, not raw packets per
+// second: absolute throughput tracks the machine (the committed baseline
+// and a CI runner differ wildly), while the ratio isolates what this
+// repo controls — how much the batched path buys over the portable one
+// on the same box.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"badabing/internal/benchx"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_6.json", "write the JSON report here ('-' for stdout)")
+		short     = flag.Bool("short", false, "CI smoke sizes (~3s) instead of full workloads (~12s)")
+		baseline  = flag.String("baseline", "", "committed report to gate against (empty: no gate)")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional speedup regression vs baseline")
+	)
+	flag.Parse()
+
+	rep, err := benchx.RunAll(benchx.Options{Short: *short})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchx: %v\n", err)
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchx: encode: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchx: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "reflector: batch %.0f pps vs single %.0f pps (%.2fx, %d shards)\n",
+		rep.Reflector.BatchPPS, rep.Reflector.SinglePPS, rep.Reflector.Speedup, rep.Reflector.Shards)
+	fmt.Fprintf(os.Stderr, "pacing:    p50 %.0fµs p95 %.0fµs p99 %.0fµs max %.0fµs over %d probes\n",
+		rep.Pacing.P50us, rep.Pacing.P95us, rep.Pacing.P99us, rep.Pacing.MaxUs, rep.Pacing.Probes)
+	for _, s := range rep.Sessions {
+		fmt.Fprintf(os.Stderr, "sessions:  x%-3d wall %.2fs cpu %.0fms/session (%d probes, %d errors)\n",
+			s.Concurrency, s.WallSeconds, s.CPUMsPerSession, s.Probes, s.Errors)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := loadReport(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchx: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	floor := base.Reflector.Speedup * (1 - *tolerance)
+	if rep.Reflector.Speedup < floor {
+		fmt.Fprintf(os.Stderr, "benchx: REGRESSION: speedup %.2fx below floor %.2fx (baseline %.2fx, tolerance %.0f%%)\n",
+			rep.Reflector.Speedup, floor, base.Reflector.Speedup, *tolerance*100)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "benchx: gate ok: speedup %.2fx >= floor %.2fx (baseline %.2fx)\n",
+		rep.Reflector.Speedup, floor, base.Reflector.Speedup)
+}
+
+func loadReport(path string) (benchx.Report, error) {
+	var rep benchx.Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != benchx.Schema {
+		return rep, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, benchx.Schema)
+	}
+	return rep, nil
+}

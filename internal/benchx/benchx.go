@@ -1,0 +1,407 @@
+// Package benchx is the repeatable performance-regression harness for
+// the wire hot path. It measures the three quantities the batch rebuild
+// exists to improve — loopback reflector throughput (batched vs the
+// single-packet baseline), sender pacing-error distribution, and
+// end-to-end session cost under concurrency — and emits them as one
+// machine-readable report (BENCH_*.json) that CI diffs against a
+// committed baseline.
+//
+// Workloads are seeded and fixed-size, so two runs on the same machine
+// measure the same packet schedule; absolute throughput still varies
+// across machines, which is why the regression gate compares the
+// batch/single *speedup ratio* rather than raw packets per second.
+package benchx
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"badabing/internal/badabing"
+	"badabing/internal/session"
+	"badabing/internal/session/wiretransport"
+	"badabing/internal/wire"
+)
+
+// Schema identifies the report layout for downstream tooling.
+const Schema = "badabing-bench/1"
+
+// Options sizes a harness run. The zero value selects the full-size
+// workloads; Short selects CI-smoke sizes. Explicit fields override both
+// (tests use tiny workloads).
+type Options struct {
+	// Short selects the CI smoke sizes (~3s total instead of ~12s).
+	Short bool
+	// Seed fixes every workload schedule.
+	Seed int64
+	// ReflectorWindow is the measured throughput window per mode.
+	ReflectorWindow time.Duration
+	// PacingSlots is the pacing-session length in slots.
+	PacingSlots int64
+	// SessionSlots is the per-session horizon of the concurrency tiers.
+	SessionSlots int64
+	// SessionLevels are the concurrency tiers to run.
+	SessionLevels []int
+}
+
+func (o *Options) applyDefaults() {
+	pick := func(d *time.Duration, short, full time.Duration) {
+		if *d == 0 {
+			if o.Short {
+				*d = short
+			} else {
+				*d = full
+			}
+		}
+	}
+	picki := func(d *int64, short, full int64) {
+		if *d == 0 {
+			if o.Short {
+				*d = short
+			} else {
+				*d = full
+			}
+		}
+	}
+	pick(&o.ReflectorWindow, 700*time.Millisecond, 1500*time.Millisecond)
+	picki(&o.PacingSlots, 120, 400)
+	picki(&o.SessionSlots, 25, 60)
+	if len(o.SessionLevels) == 0 {
+		o.SessionLevels = []int{1, 16, 64}
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+}
+
+// Report is the machine-readable result of one harness run.
+type Report struct {
+	Schema    string         `json:"schema"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	CPUs      int            `json:"cpus"`
+	Short     bool           `json:"short"`
+	Reflector ReflectorBench `json:"reflector"`
+	Pacing    PacingBench    `json:"pacing"`
+	Sessions  []SessionBench `json:"sessions"`
+}
+
+// ReflectorBench compares echo-loop throughput between the batched
+// (sendmmsg/recvmmsg, sharded) path and the single-packet baseline over
+// the same loopback blast workload. Speedup — the machine-normalized
+// ratio — is what the regression gate watches.
+type ReflectorBench struct {
+	Seconds   float64 `json:"seconds"`
+	Shards    int     `json:"shards"`
+	BatchPPS  float64 `json:"batch_pps"`
+	SinglePPS float64 `json:"single_pps"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// PacingBench is the sender's pacing-error distribution: how far behind
+// its slot deadline each probe actually left, in microseconds. This is
+// the accuracy-critical quantity (§7): pacing error shifts when probes
+// sample the path.
+type PacingBench struct {
+	Slots  int64   `json:"slots"`
+	SlotMs float64 `json:"slot_ms"`
+	Probes int     `json:"probes"`
+	P50us  float64 `json:"p50_us"`
+	P95us  float64 `json:"p95_us"`
+	P99us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// SessionBench is the end-to-end cost of one concurrency tier: wall and
+// CPU time for N full sessions (pace → reflect → collect → estimate)
+// sharing one reflector.
+type SessionBench struct {
+	Concurrency     int     `json:"concurrency"`
+	Slots           int64   `json:"slots"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	CPUSeconds      float64 `json:"cpu_seconds"`
+	CPUMsPerSession float64 `json:"cpu_ms_per_session"`
+	Probes          int     `json:"probes"`
+	Errors          int     `json:"errors"`
+}
+
+// RunAll runs the full harness and assembles the report.
+func RunAll(opts Options) (Report, error) {
+	opts.applyDefaults()
+	rep := Report{
+		Schema: Schema,
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Short:  opts.Short,
+	}
+	var err error
+	if rep.Reflector, err = RunReflectorBench(opts); err != nil {
+		return rep, fmt.Errorf("reflector bench: %w", err)
+	}
+	if rep.Pacing, err = RunPacingBench(opts); err != nil {
+		return rep, fmt.Errorf("pacing bench: %w", err)
+	}
+	for _, level := range opts.SessionLevels {
+		sb, err := RunSessionBench(opts, level)
+		if err != nil {
+			return rep, fmt.Errorf("session bench x%d: %w", level, err)
+		}
+		rep.Sessions = append(rep.Sessions, sb)
+	}
+	return rep, nil
+}
+
+// blast floods addr with probe-sized datagrams until stop closes, using
+// the batch writer unless disabled (the baseline mode must be the whole
+// pre-batch data path, sender included).
+func blast(addr string, disableBatch bool, stop <-chan struct{}, wg *sync.WaitGroup) error {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, wire.HeaderSize)
+	h := wire.Header{ExpID: 1, P: 0.3, N: 1 << 30, PktsPerProbe: 3,
+		SlotWidth: 5 * time.Millisecond, Seed: 1, SendTime: time.Now().UnixNano()}
+	if _, err := h.Marshal(frame); err != nil {
+		conn.Close()
+		return err
+	}
+	var bw wire.BatchWriter
+	if !disableBatch {
+		bw = wire.NewBatchWriter(conn)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer conn.Close()
+		if bw != nil {
+			ms := wire.MakeMessages(wire.MaxBatch)
+			for i := range ms {
+				ms[i].N = copy(ms[i].Buf, frame)
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				bw.WriteBatch(ms)
+			}
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			conn.Write(frame)
+		}
+	}()
+	return nil
+}
+
+// reflectorPPS measures how many datagrams per second one reflector
+// configuration absorbs from a sustained loopback blast.
+func reflectorPPS(window time.Duration, disableBatch bool, shards int) (float64, error) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	r := wire.NewReflectorConfig(conn, wire.ReflectorConfig{
+		Shards: shards, DisableBatch: disableBatch,
+	})
+	done := make(chan struct{})
+	go func() {
+		r.Run()
+		close(done)
+	}()
+	defer func() {
+		r.Close()
+		<-done
+	}()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer close(stop)
+	// Two blasters keep even the sharded batch path saturated.
+	for i := 0; i < 2; i++ {
+		if err := blast(conn.LocalAddr().String(), disableBatch, stop, &wg); err != nil {
+			return 0, err
+		}
+	}
+
+	time.Sleep(window / 10) // warm up sockets and shard scheduling
+	c0 := r.Packets()
+	start := time.Now()
+	time.Sleep(window)
+	c1 := r.Packets()
+	elapsed := time.Since(start).Seconds()
+	return float64(c1-c0) / elapsed, nil
+}
+
+// reflectorTrials is how many times each reflector mode is measured; the
+// best trial is reported. Max-of-N is the standard defence against
+// scheduler interference: noise only ever subtracts throughput, so the
+// maximum is the least-biased estimate of what the mode can do, and the
+// regression gate's speedup ratio stops flapping with CI runner load.
+const reflectorTrials = 3
+
+// RunReflectorBench measures batch vs single-packet reflector throughput
+// over identical blast workloads, best of reflectorTrials per mode.
+func RunReflectorBench(opts Options) (ReflectorBench, error) {
+	opts.applyDefaults()
+	shards := wire.DefaultReflectorShards()
+	rb := ReflectorBench{
+		Seconds: opts.ReflectorWindow.Seconds(),
+		Shards:  shards,
+	}
+	best := func(disableBatch bool, shards int) (float64, error) {
+		var top float64
+		for i := 0; i < reflectorTrials; i++ {
+			pps, err := reflectorPPS(opts.ReflectorWindow, disableBatch, shards)
+			if err != nil {
+				return 0, err
+			}
+			if pps > top {
+				top = pps
+			}
+		}
+		return top, nil
+	}
+	var err error
+	// Baseline first: the classic one-goroutine, one-syscall-per-packet
+	// reflector this repo shipped before the batch rebuild.
+	if rb.SinglePPS, err = best(true, 1); err != nil {
+		return rb, err
+	}
+	if rb.BatchPPS, err = best(false, shards); err != nil {
+		return rb, err
+	}
+	if rb.SinglePPS > 0 {
+		rb.Speedup = rb.BatchPPS / rb.SinglePPS
+	}
+	return rb, nil
+}
+
+// RunPacingBench paces a full seeded probe schedule at a 5 ms slot width
+// against a sink socket and reports the per-probe lag distribution: how
+// long after its slot deadline each probe finished hitting the wire.
+func RunPacingBench(opts Options) (PacingBench, error) {
+	opts.applyDefaults()
+	const slotW = 5 * time.Millisecond
+	pb := PacingBench{Slots: opts.PacingSlots, SlotMs: slotW.Seconds() * 1e3}
+
+	sink, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return pb, err
+	}
+	defer sink.Close()
+	conn, err := net.Dial("udp", sink.LocalAddr().String())
+	if err != nil {
+		return pb, err
+	}
+	defer conn.Close()
+
+	cfg := wire.SenderConfig{ExpID: 1, P: 0.3, N: opts.PacingSlots, Slot: slotW, Improved: true, Seed: opts.Seed}
+	if err := cfg.Normalize(); err != nil {
+		return pb, err
+	}
+	plans, err := badabing.Schedule(badabing.ScheduleConfig{
+		P: cfg.P, N: cfg.N, Improved: cfg.Improved, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return pb, err
+	}
+	slots := badabing.ProbeSlots(plans)
+
+	lags := make([]time.Duration, 0, len(slots))
+	start := time.Now()
+	_, err = wire.SendSlots(context.Background(), conn, cfg, slots, start, func(i int, slot int64) {
+		lags = append(lags, time.Since(start.Add(time.Duration(slot)*slotW)))
+	})
+	if err != nil {
+		return pb, err
+	}
+	if len(lags) == 0 {
+		return pb, fmt.Errorf("benchx: schedule produced no probes")
+	}
+	sort.Slice(lags, func(a, b int) bool { return lags[a] < lags[b] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lags)-1))
+		return float64(lags[i]) / 1e3
+	}
+	pb.Probes = len(lags)
+	pb.P50us = pct(0.50)
+	pb.P95us = pct(0.95)
+	pb.P99us = pct(0.99)
+	pb.MaxUs = float64(lags[len(lags)-1]) / 1e3
+	return pb, nil
+}
+
+// RunSessionBench runs `level` concurrent full measurement sessions
+// against one shared reflector and reports their aggregate wall and CPU
+// cost.
+func RunSessionBench(opts Options, level int) (SessionBench, error) {
+	opts.applyDefaults()
+	const slotW = 10 * time.Millisecond
+	sb := SessionBench{Concurrency: level, Slots: opts.SessionSlots}
+
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return sb, err
+	}
+	r := wire.NewReflectorConfig(conn, wire.ReflectorConfig{Shards: wire.DefaultReflectorShards()})
+	done := make(chan struct{})
+	go func() {
+		r.Run()
+		close(done)
+	}()
+	defer func() {
+		r.Close()
+		<-done
+	}()
+
+	var probes, errs atomic.Int64
+	var wg sync.WaitGroup
+	cpu0 := cpuSeconds()
+	wall0 := time.Now()
+	for i := 0; i < level; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seed := opts.Seed + int64(i)
+			tr, err := wiretransport.DialOptions(conn.LocalAddr().String(), wire.SenderConfig{
+				ExpID: uint64(i + 1), P: 0.3, N: opts.SessionSlots, Slot: slotW,
+				Improved: true, Seed: seed,
+			}, wiretransport.Options{SkipHandshake: true})
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			defer tr.Close()
+			res, err := session.Run(context.Background(), tr, session.Config{
+				P: 0.3, Slots: opts.SessionSlots, Slot: slotW, Improved: true, Seed: seed,
+				StepSlots: 20, Settle: 200 * time.Millisecond,
+			}, nil)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			probes.Add(int64(res.Probes))
+		}(i)
+	}
+	wg.Wait()
+	sb.WallSeconds = time.Since(wall0).Seconds()
+	sb.CPUSeconds = cpuSeconds() - cpu0
+	sb.CPUMsPerSession = sb.CPUSeconds * 1e3 / float64(level)
+	sb.Probes = int(probes.Load())
+	sb.Errors = int(errs.Load())
+	return sb, nil
+}

@@ -1,0 +1,83 @@
+package benchx
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// tinyOpts keeps the harness's own test fast: the test checks that every
+// report section is populated and coherent, not the numbers themselves.
+func tinyOpts() Options {
+	return Options{
+		Short:           true,
+		Seed:            7,
+		ReflectorWindow: 150 * time.Millisecond,
+		PacingSlots:     60,
+		SessionSlots:    12,
+		SessionLevels:   []int{1, 2},
+	}
+}
+
+func TestRunAllProducesCoherentReport(t *testing.T) {
+	rep, err := RunAll(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema {
+		t.Errorf("schema = %q, want %q", rep.Schema, Schema)
+	}
+	if rep.Reflector.BatchPPS <= 0 || rep.Reflector.SinglePPS <= 0 {
+		t.Errorf("reflector throughput not measured: %+v", rep.Reflector)
+	}
+	if rep.Reflector.Speedup <= 0 {
+		t.Errorf("speedup not computed: %+v", rep.Reflector)
+	}
+	if rep.Pacing.Probes == 0 {
+		t.Errorf("pacing bench paced no probes: %+v", rep.Pacing)
+	}
+	if !(rep.Pacing.P50us <= rep.Pacing.P95us && rep.Pacing.P95us <= rep.Pacing.P99us && rep.Pacing.P99us <= rep.Pacing.MaxUs) {
+		t.Errorf("pacing percentiles not monotone: %+v", rep.Pacing)
+	}
+	if len(rep.Sessions) != 2 {
+		t.Fatalf("got %d session tiers, want 2", len(rep.Sessions))
+	}
+	for _, s := range rep.Sessions {
+		if s.Errors != 0 {
+			t.Errorf("tier x%d had %d session errors", s.Concurrency, s.Errors)
+		}
+		if s.Probes == 0 || s.WallSeconds <= 0 {
+			t.Errorf("tier x%d empty: %+v", s.Concurrency, s)
+		}
+	}
+
+	// The report must round-trip through its wire format.
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != rep.Schema || len(back.Sessions) != len(rep.Sessions) {
+		t.Fatalf("report did not survive JSON round trip")
+	}
+}
+
+// TestPacingDeterministicSchedule pins that the pacing workload is
+// seeded: two runs must pace the identical number of probes.
+func TestPacingDeterministicSchedule(t *testing.T) {
+	opts := tinyOpts()
+	a, err := RunPacingBench(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPacingBench(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Probes != b.Probes {
+		t.Fatalf("same seed paced %d vs %d probes", a.Probes, b.Probes)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package benchx
+
+// cpuSeconds is unavailable off unix; session CPU columns read zero.
+func cpuSeconds() float64 { return 0 }

@@ -1,0 +1,17 @@
+//go:build unix
+
+package benchx
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuSeconds returns this process's cumulative user+system CPU time.
+func cpuSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return (time.Duration(ru.Utime.Nano()) + time.Duration(ru.Stime.Nano())).Seconds()
+}

@@ -15,10 +15,13 @@
 package chaos
 
 import (
+	"fmt"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
+
+	"badabing/internal/wire"
 )
 
 // Fault is one direction's impairment profile. All rates are
@@ -326,6 +329,39 @@ func (c *ImpairedConn) WriteTo(p []byte, addr net.Addr) (int, error) {
 		c.send(held)
 	}
 	return len(p), nil
+}
+
+// ReadBatch implements wire.BatchConn by delivering exactly one
+// surviving inbound packet per call: fault decisions are drawn per
+// packet from the same RNG stream in the same order as ReadFrom, so an
+// impaired path behaves identically whether the wire stack reads it
+// batched or packet-at-a-time (the chaos matrix pins the resulting
+// estimates bit-identical).
+func (c *ImpairedConn) ReadBatch(ms []wire.Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	n, addr, err := c.ReadFrom(ms[0].Buf)
+	if err != nil {
+		return 0, err
+	}
+	ms[0].N = n
+	ms[0].Addr = addr
+	return 1, nil
+}
+
+// WriteBatch implements wire.BatchConn by routing every message through
+// the per-packet outbound fault path.
+func (c *ImpairedConn) WriteBatch(ms []wire.Message) (int, error) {
+	for i := range ms {
+		if ms[i].Addr == nil {
+			return i, fmt.Errorf("chaos: batch write without destination")
+		}
+		if _, err := c.WriteTo(ms[i].Buf[:ms[i].N], ms[i].Addr); err != nil {
+			return i, err
+		}
+	}
+	return len(ms), nil
 }
 
 // send writes a packet now or, if delayed, from a timer goroutine.

@@ -109,6 +109,12 @@ type SessionConfig struct {
 	SlotMicros int64 `json:"slot_micros,omitempty"`
 	// Basic disables the improved (triple-probe) design.
 	Basic bool `json:"basic,omitempty"`
+	// DisableBatch forces the "wire" scenario's sender onto per-packet
+	// writes instead of the batched (sendmmsg) probe fast path. The two
+	// paths measure identically (the chaos matrix pins their estimates
+	// bit-for-bit); this knob exists for A/B runs and syscall-level
+	// debugging on live paths.
+	DisableBatch bool `json:"disable_batch,omitempty"`
 	// ExtendedFraction is the improved design's triple-probe weighting;
 	// null selects the paper's 1/2, 0 disables extended experiments.
 	ExtendedFraction *float64 `json:"extended_fraction,omitempty"`

@@ -68,12 +68,13 @@ func simScenario(build func(seed int64) (*simnet.Sim, *simnet.Dumbbell)) transpo
 // on the schedule.
 func wireScenario(cfg SessionConfig, seed int64, slot time.Duration) (session.Transport, error) {
 	return wiretransport.DialOptions(cfg.Target, wire.SenderConfig{
-		ExpID:    uint64(seed),
-		P:        cfg.P,
-		N:        cfg.Slots,
-		Slot:     slot,
-		Improved: !cfg.Basic,
-		Seed:     seed,
+		ExpID:        uint64(seed),
+		P:            cfg.P,
+		N:            cfg.Slots,
+		Slot:         slot,
+		Improved:     !cfg.Basic,
+		Seed:         seed,
+		DisableBatch: cfg.DisableBatch,
 	}, wiretransport.Options{
 		Liveness: wire.LivenessConfig{Seed: seed},
 	})

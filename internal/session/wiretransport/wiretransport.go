@@ -144,6 +144,7 @@ func DialOptions(target string, cfg wire.SenderConfig, opts Options) (*Transport
 type countingConn struct {
 	*net.UDPConn
 	fails *atomic.Int64
+	bw    wire.BatchWriter
 }
 
 func (c countingConn) Write(b []byte) (int, error) {
@@ -152,6 +153,16 @@ func (c countingConn) Write(b []byte) (int, error) {
 		c.fails.Add(1)
 	}
 	return n, err
+}
+
+// WriteBatch exposes the socket's sendmmsg fast path to the sender.
+// Batch shortfalls need no counting here: the sender retries the
+// remainder through Write, which counts per packet.
+func (c countingConn) WriteBatch(ms []wire.Message) (int, error) {
+	if c.bw == nil {
+		return 0, wire.ErrBatchUnsupported
+	}
+	return c.bw.WriteBatch(ms)
 }
 
 // Launch proves the far end alive (unless opted out), then starts the
@@ -184,6 +195,9 @@ func (t *Transport) Launch(ctx context.Context, slots []int64) error {
 	go func() {
 		defer close(t.done)
 		sendConn := countingConn{UDPConn: t.conn, fails: &t.writeFails}
+		if !t.cfg.DisableBatch {
+			sendConn.bw = wire.NewBatchWriter(t.conn)
+		}
 		st, err := wire.SendSlots(ctx, sendConn, t.cfg, slots, t.start, func(i int, slot int64) {
 			t.mu.Lock()
 			t.sent = i + 1

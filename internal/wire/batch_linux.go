@@ -1,0 +1,280 @@
+//go:build linux && (amd64 || arm64)
+
+package wire
+
+import (
+	"net"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mmsgConn moves batches of UDP datagrams with recvmmsg(2)/sendmmsg(2)
+// through the socket's raw file descriptor, while delegating everything
+// else (deadlines, close, single-packet I/O) to the *net.UDPConn. All
+// per-message kernel structures — mmsghdr/iovec arrays and sockaddr
+// storage — are preallocated once and rewritten in place, so the steady
+// read/echo path performs zero heap allocations.
+//
+// Not safe for concurrent ReadBatch (or concurrent WriteBatch) calls on
+// one instance: each reflector shard wraps the shared socket in its own
+// mmsgConn.
+type mmsgConn struct {
+	*net.UDPConn
+	rc syscall.RawConn
+
+	rhdrs  []mmsghdr
+	riovs  []syscall.Iovec
+	raddrs []syscall.RawSockaddrAny
+	rudp   []net.UDPAddr // reused ReadBatch result addresses
+	rips   []byte        // backing storage for rudp IPs, 16 bytes each
+
+	whdrs  []mmsghdr
+	wiovs  []syscall.Iovec
+	waddrs []syscall.RawSockaddrInet6 // scratch dest sockaddrs (v4 fits too)
+
+	// The raw-conn callbacks are built once and communicate through
+	// these fields: a fresh closure per call would put itself (and every
+	// captured result variable) on the heap, breaking the zero-alloc
+	// contract the hot path is built around.
+	readFn, writeFn func(fd uintptr) bool
+	rwant, rgot     int
+	rerrno          syscall.Errno
+	wwant, wsent    int
+	werrno          syscall.Errno
+}
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-reported
+// datagram length. The trailing pad keeps the array stride at the
+// kernel's 8-byte-aligned layout on 64-bit targets (the only ones this
+// file builds for).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// newMmsgConn returns nil if the socket's descriptor is unavailable
+// (caller then falls back to single-packet I/O).
+func newMmsgConn(u *net.UDPConn) BatchConn {
+	rc, err := u.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	c := &mmsgConn{UDPConn: u, rc: rc}
+	c.readFn = c.rawRecvmmsg
+	c.writeFn = c.rawSendmmsg
+	return c
+}
+
+// newUDPBatchWriter returns the sender-side batch fast path for a
+// connected UDP socket, or nil when unavailable.
+func newUDPBatchWriter(u *net.UDPConn) BatchWriter {
+	if bc := newMmsgConn(u); bc != nil {
+		return bc
+	}
+	return nil
+}
+
+// rawRecvmmsg is the persistent RawConn.Read callback: one recvmmsg of
+// up to rwant datagrams, reporting through rgot/rerrno.
+func (c *mmsgConn) rawRecvmmsg(fd uintptr) bool {
+	r, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+		uintptr(unsafe.Pointer(&c.rhdrs[0])), uintptr(c.rwant),
+		uintptr(syscall.MSG_DONTWAIT), 0, 0)
+	if e == syscall.EAGAIN {
+		return false // wait for readability
+	}
+	c.rgot, c.rerrno = int(r), e
+	return true
+}
+
+// rawSendmmsg is the persistent RawConn.Write callback: one sendmmsg of
+// wwant messages, reporting through wsent/werrno.
+func (c *mmsgConn) rawSendmmsg(fd uintptr) bool {
+	r, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+		uintptr(unsafe.Pointer(&c.whdrs[0])), uintptr(c.wwant),
+		uintptr(syscall.MSG_DONTWAIT), 0, 0)
+	if e == syscall.EAGAIN {
+		return false // wait for writability
+	}
+	c.wsent, c.werrno = int(r), e
+	return true
+}
+
+func (c *mmsgConn) growRead(n int) {
+	if len(c.rhdrs) >= n {
+		return
+	}
+	c.rhdrs = make([]mmsghdr, n)
+	c.riovs = make([]syscall.Iovec, n)
+	c.raddrs = make([]syscall.RawSockaddrAny, n)
+	c.rudp = make([]net.UDPAddr, n)
+	c.rips = make([]byte, n*16)
+}
+
+func (c *mmsgConn) growWrite(n int) {
+	if len(c.whdrs) >= n {
+		return
+	}
+	c.whdrs = make([]mmsghdr, n)
+	c.wiovs = make([]syscall.Iovec, n)
+	c.waddrs = make([]syscall.RawSockaddrInet6, n)
+}
+
+// ReadBatch fills ms from one recvmmsg call, blocking (via the runtime
+// poller, so deadlines and Close work) until at least one datagram is
+// ready. The returned addresses are reused storage, valid until the next
+// ReadBatch.
+func (c *mmsgConn) ReadBatch(ms []Message) (int, error) {
+	n := len(ms)
+	if n == 0 {
+		return 0, nil
+	}
+	if n > MaxBatch {
+		n = MaxBatch
+	}
+	c.growRead(n)
+	for i := 0; i < n; i++ {
+		c.riovs[i].Base = &ms[i].Buf[0]
+		c.riovs[i].Len = uint64(len(ms[i].Buf))
+		h := &c.rhdrs[i].hdr
+		h.Name = (*byte)(unsafe.Pointer(&c.raddrs[i]))
+		h.Namelen = syscall.SizeofSockaddrAny
+		h.Iov = &c.riovs[i]
+		h.Iovlen = 1
+		h.Control = nil
+		h.Controllen = 0
+		h.Flags = 0
+		c.rhdrs[i].len = 0
+	}
+	c.rwant, c.rgot, c.rerrno = n, 0, 0
+	err := c.rc.Read(c.readFn)
+	if err != nil {
+		return 0, err
+	}
+	if c.rerrno != 0 {
+		return 0, &net.OpError{Op: "read", Net: "udp", Addr: c.LocalAddr(), Err: os.NewSyscallError("recvmmsg", c.rerrno)}
+	}
+	got := c.rgot
+	for i := 0; i < got; i++ {
+		ms[i].N = int(c.rhdrs[i].len)
+		ms[i].Addr = c.sockaddrToUDP(i)
+	}
+	return got, nil
+}
+
+// sockaddrToUDP converts slot i's raw source address into the slot's
+// reused *net.UDPAddr without allocating.
+func (c *mmsgConn) sockaddrToUDP(i int) net.Addr {
+	ua := &c.rudp[i]
+	ip := c.rips[i*16 : i*16+16]
+	switch c.raddrs[i].Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&c.raddrs[i]))
+		copy(ip[:4], sa.Addr[:])
+		ua.IP = ip[:4]
+		ua.Port = int(sa.Port>>8 | sa.Port<<8)
+		ua.Zone = ""
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(&c.raddrs[i]))
+		copy(ip, sa.Addr[:])
+		ua.IP = ip
+		ua.Port = int(sa.Port>>8 | sa.Port<<8)
+		ua.Zone = zoneOf(sa.Scope_id)
+	default:
+		return nil
+	}
+	return ua
+}
+
+// zoneOf resolves an IPv6 scope id to its interface name; scope 0 (the
+// only case on the loopback hot path) costs nothing.
+func zoneOf(scope uint32) string {
+	if scope == 0 {
+		return ""
+	}
+	if ifi, err := net.InterfaceByIndex(int(scope)); err == nil {
+		return ifi.Name
+	}
+	return ""
+}
+
+// WriteBatch sends ms with one sendmmsg call (retrying the tail if the
+// kernel takes only a prefix). A nil Addr sends to the connected peer.
+func (c *mmsgConn) WriteBatch(ms []Message) (int, error) {
+	total := 0
+	for total < len(ms) {
+		batch := ms[total:]
+		if len(batch) > MaxBatch {
+			batch = batch[:MaxBatch]
+		}
+		n, err := c.writeBatchOnce(batch)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			return total, &net.OpError{Op: "write", Net: "udp", Addr: c.LocalAddr(), Err: os.NewSyscallError("sendmmsg", syscall.EIO)}
+		}
+	}
+	return total, nil
+}
+
+func (c *mmsgConn) writeBatchOnce(ms []Message) (int, error) {
+	n := len(ms)
+	c.growWrite(n)
+	for i := 0; i < n; i++ {
+		c.wiovs[i].Base = &ms[i].Buf[0]
+		c.wiovs[i].Len = uint64(ms[i].N)
+		h := &c.whdrs[i].hdr
+		h.Iov = &c.wiovs[i]
+		h.Iovlen = 1
+		h.Control = nil
+		h.Controllen = 0
+		h.Flags = 0
+		c.whdrs[i].len = 0
+		if ms[i].Addr == nil {
+			h.Name = nil
+			h.Namelen = 0
+			continue
+		}
+		nameLen, err := putSockaddr(&c.waddrs[i], ms[i].Addr)
+		if err != nil {
+			return i, err
+		}
+		h.Name = (*byte)(unsafe.Pointer(&c.waddrs[i]))
+		h.Namelen = nameLen
+	}
+	c.wwant, c.wsent, c.werrno = n, 0, 0
+	err := c.rc.Write(c.writeFn)
+	if err != nil {
+		return 0, err
+	}
+	if c.werrno != 0 {
+		return 0, &net.OpError{Op: "write", Net: "udp", Addr: c.LocalAddr(), Err: os.NewSyscallError("sendmmsg", c.werrno)}
+	}
+	return c.wsent, nil
+}
+
+// putSockaddr encodes addr (a *net.UDPAddr) into raw storage, returning
+// the kernel's namelen. IPv4 destinations reuse the Inet6 slot's memory
+// as an Inet4 struct.
+func putSockaddr(dst *syscall.RawSockaddrInet6, addr net.Addr) (uint32, error) {
+	ua, ok := addr.(*net.UDPAddr)
+	if !ok {
+		return 0, &net.AddrError{Err: "wire: batch write needs *net.UDPAddr", Addr: addr.String()}
+	}
+	if ip4 := ua.IP.To4(); ip4 != nil {
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(dst))
+		sa.Family = syscall.AF_INET
+		sa.Port = uint16(ua.Port>>8) | uint16(ua.Port)<<8
+		copy(sa.Addr[:], ip4)
+		return syscall.SizeofSockaddrInet4, nil
+	}
+	dst.Family = syscall.AF_INET6
+	dst.Port = uint16(ua.Port>>8) | uint16(ua.Port)<<8
+	copy(dst.Addr[:], ua.IP.To16())
+	dst.Scope_id = 0
+	return syscall.SizeofSockaddrInet6, nil
+}

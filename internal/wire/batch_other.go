@@ -1,0 +1,13 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package wire
+
+import "net"
+
+// newMmsgConn is unavailable without the linux multi-message syscalls;
+// callers fall back to the portable single-packet batch adapter.
+func newMmsgConn(u *net.UDPConn) BatchConn { return nil }
+
+// newUDPBatchWriter is unavailable without sendmmsg; the sender stays on
+// per-packet writes.
+func newUDPBatchWriter(u *net.UDPConn) BatchWriter { return nil }

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package wire
+
+// Multi-message syscall numbers. The frozen stdlib syscall package
+// predates sendmmsg(2), so the numbers live here; both calls have been
+// stable kernel ABI since 3.0.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package wire
+
+// Multi-message syscall numbers for the arm64 (generic) syscall table.
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

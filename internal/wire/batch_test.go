@@ -1,0 +1,313 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// udpListener opens a loopback UDP socket for batch tests.
+func udpListener(t *testing.T) *net.UDPConn {
+	t.Helper()
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn.(*net.UDPConn)
+}
+
+// payloadFor builds a distinct, recognizable datagram for slot i.
+func payloadFor(i int) []byte {
+	return []byte(fmt.Sprintf("batch-datagram-%03d-%s", i, "payload"))
+}
+
+// drainBatch reads from bc until want datagrams have arrived (or the
+// deadline hits), appending copies of each payload in arrival order.
+func drainBatch(t *testing.T, bc BatchConn, ms []Message, want int) [][]byte {
+	t.Helper()
+	var got [][]byte
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < want {
+		if err := bc.SetReadDeadline(deadline); err != nil {
+			t.Fatal(err)
+		}
+		n, err := bc.ReadBatch(ms)
+		if err != nil {
+			t.Fatalf("ReadBatch after %d/%d datagrams: %v", len(got), want, err)
+		}
+		if n < 1 || n > len(ms) {
+			t.Fatalf("ReadBatch returned %d messages from a %d-slot batch", n, len(ms))
+		}
+		for i := 0; i < n; i++ {
+			if ms[i].Addr == nil {
+				t.Fatalf("message %d arrived with nil source address", len(got))
+			}
+			got = append(got, append([]byte(nil), ms[i].Payload()...))
+		}
+	}
+	return got
+}
+
+// TestBatchReadRoundTrip sends k datagrams and reads them back through
+// both the platform mmsg path and the portable fallback, over the batch
+// sizes the reflector actually uses. Every payload must come back intact
+// and exactly once, whatever the batching.
+func TestBatchReadRoundTrip(t *testing.T) {
+	cases := []struct {
+		name    string
+		disable bool
+		batch   int
+		send    int
+	}{
+		{"mmsg/batch1", false, 1, 5},
+		{"mmsg/batch8", false, 8, 24},
+		{"mmsg/batchMax", false, MaxBatch, MaxBatch + 7},
+		{"fallback/batch1", true, 1, 5},
+		{"fallback/batch8", true, 8, 24},
+		{"fallback/batchMax", true, MaxBatch, MaxBatch + 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			recv := udpListener(t)
+			bc := NewBatchConn(recv, tc.disable)
+			sender, err := net.Dial("udp", recv.LocalAddr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sender.Close()
+
+			want := make(map[string]int, tc.send)
+			for i := 0; i < tc.send; i++ {
+				p := payloadFor(i)
+				if _, err := sender.Write(p); err != nil {
+					t.Fatal(err)
+				}
+				want[string(p)]++
+			}
+
+			got := drainBatch(t, bc, MakeMessages(tc.batch), tc.send)
+			for _, p := range got {
+				want[string(p)]--
+			}
+			for p, n := range want {
+				if n != 0 {
+					t.Errorf("payload %q count off by %d", p, n)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchWriteRoundTrip drives WriteBatch with explicit destination
+// addresses on an unconnected socket, in both modes, and checks the far
+// end receives every datagram byte-identical and in order.
+func TestBatchWriteRoundTrip(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		name := "mmsg"
+		if disable {
+			name = "fallback"
+		}
+		t.Run(name, func(t *testing.T) {
+			recv := udpListener(t)
+			send := udpListener(t)
+			bc := NewBatchConn(send, disable)
+
+			const k = 17
+			ms := MakeMessages(k)
+			dst := recv.LocalAddr()
+			for i := 0; i < k; i++ {
+				p := payloadFor(i)
+				ms[i].N = copy(ms[i].Buf, p)
+				ms[i].Addr = dst
+			}
+			n, err := bc.WriteBatch(ms)
+			if err != nil || n != k {
+				t.Fatalf("WriteBatch = (%d, %v), want (%d, nil)", n, err, k)
+			}
+
+			buf := make([]byte, maxDatagram)
+			for i := 0; i < k; i++ {
+				recv.SetReadDeadline(time.Now().Add(5 * time.Second))
+				rn, _, err := recv.ReadFrom(buf)
+				if err != nil {
+					t.Fatalf("datagram %d: %v", i, err)
+				}
+				if !bytes.Equal(buf[:rn], payloadFor(i)) {
+					t.Fatalf("datagram %d = %q, want %q (reordered or corrupt)", i, buf[:rn], payloadFor(i))
+				}
+			}
+		})
+	}
+}
+
+// TestBatchWriteNilAddrConnected covers the sender shape: a connected
+// socket and messages with nil Addr (meaning "the connected peer") — via
+// NewBatchWriter (the mmsg fast path, where available) and via the
+// portable fallback wrapper.
+func TestBatchWriteNilAddrConnected(t *testing.T) {
+	recv := udpListener(t)
+	sender, err := net.Dial("udp", recv.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	writers := map[string]BatchWriter{
+		"fallback": &fallbackConn{PacketConn: sender.(*net.UDPConn)},
+	}
+	if bw := NewBatchWriter(sender); bw != nil {
+		writers["mmsg"] = bw
+	}
+
+	for name, bw := range writers {
+		t.Run(name, func(t *testing.T) {
+			const k = 8
+			ms := MakeMessages(k)
+			for i := 0; i < k; i++ {
+				ms[i].N = copy(ms[i].Buf, payloadFor(i))
+				ms[i].Addr = nil
+			}
+			n, err := bw.WriteBatch(ms)
+			if err != nil || n != k {
+				t.Fatalf("WriteBatch = (%d, %v), want (%d, nil)", n, err, k)
+			}
+			buf := make([]byte, maxDatagram)
+			for i := 0; i < k; i++ {
+				recv.SetReadDeadline(time.Now().Add(5 * time.Second))
+				rn, _, err := recv.ReadFrom(buf)
+				if err != nil {
+					t.Fatalf("datagram %d: %v", i, err)
+				}
+				if !bytes.Equal(buf[:rn], payloadFor(i)) {
+					t.Fatalf("datagram %d = %q, want %q", i, buf[:rn], payloadFor(i))
+				}
+			}
+		})
+	}
+}
+
+// TestBatchShortRead proves kernel truncation of an oversized datagram
+// behaves identically on both paths: the message carries exactly
+// len(Buf) bytes — the datagram's prefix — and the loop keeps running.
+// The parsers treat such prefixes like any other wire truncation.
+func TestBatchShortRead(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		name := "mmsg"
+		if disable {
+			name = "fallback"
+		}
+		t.Run(name, func(t *testing.T) {
+			recv := udpListener(t)
+			bc := NewBatchConn(recv, disable)
+			sender, err := net.Dial("udp", recv.LocalAddr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sender.Close()
+
+			big := bytes.Repeat([]byte{0xAB}, 100)
+			if _, err := sender.Write(big); err != nil {
+				t.Fatal(err)
+			}
+
+			// One 16-byte slot: the 100-byte datagram must truncate, not
+			// error out or spill into a neighbor.
+			ms := []Message{{Buf: make([]byte, 16)}}
+			bc.SetReadDeadline(time.Now().Add(5 * time.Second))
+			n, err := bc.ReadBatch(ms)
+			if err != nil || n != 1 {
+				t.Fatalf("ReadBatch = (%d, %v), want (1, nil)", n, err)
+			}
+			if ms[0].N != 16 || !bytes.Equal(ms[0].Payload(), big[:16]) {
+				t.Fatalf("truncated read N=%d payload=%x, want 16-byte prefix", ms[0].N, ms[0].Payload())
+			}
+
+			// The socket still works after truncation.
+			if _, err := sender.Write(payloadFor(1)); err != nil {
+				t.Fatal(err)
+			}
+			got := drainBatch(t, bc, MakeMessages(1), 1)
+			if !bytes.Equal(got[0], payloadFor(1)) {
+				t.Fatalf("post-truncation datagram = %q", got[0])
+			}
+		})
+	}
+}
+
+// TestCollectorBatchGarbageResilience feeds the collector's batched read
+// loop truncated and corrupt datagrams mid-stream. Garbage must never
+// create sessions or kill the loop; a valid probe arriving afterwards
+// must still be recorded.
+func TestCollectorBatchGarbageResilience(t *testing.T) {
+	col, addr := startCollector(t)
+	conn := dial(t, addr)
+
+	hdr := Header{ExpID: 77, P: 0.3, N: 100, PktsPerProbe: 3,
+		SlotWidth: 5 * time.Millisecond, Seed: 1, SendTime: time.Now().UnixNano()}
+	good := make([]byte, HeaderSize)
+	if _, err := hdr.Marshal(good); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), good...)
+	corrupt[4] = Version + 1 // future version: rejected, not fatal
+
+	for _, pkt := range [][]byte{
+		good[:HeaderSize/2],        // truncated mid-header
+		{0},                        // single garbage byte
+		corrupt,                    // right size, wrong version
+		bytes.Repeat([]byte{0}, 3), // too short for magic
+		good,                       // the real probe
+	} {
+		if _, err := conn.Write(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ids := col.Sessions()
+		if len(ids) == 1 && ids[0] == 77 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions = %v, want [77] — garbage datagrams wedged the batch loop", ids)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBatchEmptyAndZeroSlot pins edge behavior shared by both
+// implementations: a zero-length batch is a no-op, and MakeMessages
+// hands out disjoint full-size buffers.
+func TestBatchEmptyAndZeroSlot(t *testing.T) {
+	recv := udpListener(t)
+	for _, disable := range []bool{false, true} {
+		bc := NewBatchConn(recv, disable)
+		if n, err := bc.ReadBatch(nil); n != 0 || err != nil {
+			t.Errorf("disable=%v: empty ReadBatch = (%d, %v), want (0, nil)", disable, n, err)
+		}
+	}
+
+	ms := MakeMessages(3)
+	if len(ms) != 3 {
+		t.Fatalf("MakeMessages(3) returned %d messages", len(ms))
+	}
+	for i := range ms {
+		if len(ms[i].Buf) != maxDatagram || cap(ms[i].Buf) != maxDatagram {
+			t.Fatalf("slot %d buffer len=%d cap=%d, want %d", i, len(ms[i].Buf), cap(ms[i].Buf), maxDatagram)
+		}
+		for j := range ms[i].Buf {
+			ms[i].Buf[j] = byte(i + 1)
+		}
+	}
+	for i := range ms {
+		for j := range ms[i].Buf {
+			if ms[i].Buf[j] != byte(i+1) {
+				t.Fatalf("slot %d buffer shares storage with a neighbor", i)
+			}
+		}
+	}
+}

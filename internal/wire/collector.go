@@ -37,6 +37,8 @@ type colSession struct {
 type Collector struct {
 	conn net.PacketConn
 
+	readErrs errorNote
+
 	mu          sync.Mutex
 	sessions    map[uint64]*colSession
 	queryMarker badabing.MarkerConfig
@@ -51,50 +53,87 @@ func NewCollector(conn net.PacketConn) *Collector {
 	return &Collector{conn: conn, sessions: make(map[uint64]*colSession)}
 }
 
-// Run reads packets until the socket is closed. It is intended to be run
-// on its own goroutine.
+// OnReadError installs a hook surfaced once per persistent read-error
+// class (a persistent EMSGSIZE-class condition must reach an operator
+// instead of spinning silently). Call before Run.
+func (c *Collector) OnReadError(hook func(error)) {
+	c.readErrs.setHook(hook)
+}
+
+// ReadErrors returns how many transient read errors the receive loop has
+// survived and the current error class ("" after a clean start).
+func (c *Collector) ReadErrors() (uint64, string) {
+	return c.readErrs.snapshot()
+}
+
+// Run reads packets until the socket is closed, in recvmmsg batches
+// where the platform allows. It is intended to be run on its own
+// goroutine.
 func (c *Collector) Run() {
-	buf := make([]byte, 65536)
+	bc := NewBatchConn(c.conn, false)
+	ms := MakeMessages(DefaultBatch)
 	for {
-		n, addr, err := c.conn.ReadFrom(buf)
-		now := time.Now()
+		n, err := bc.ReadBatch(ms)
 		if err != nil {
 			if transientReadError(err) {
 				// A connected socket whose far end died reports the
 				// ICMP-unreachable burst on reads too; the collector
 				// must outlive it — the far end may restart, and the
-				// log it holds is the session's partial evidence.
+				// log it holds is the session's partial evidence. The
+				// error is surfaced (once per class), not swallowed.
+				c.readErrs.note(err)
 				continue
 			}
 			return
 		}
-		if expID, ok := parseQuery(buf[:n]); ok {
-			// Control queries are rare; answer off the hot path so
-			// assembly does not stall probe reception.
-			go c.handleQuery(expID, addr)
-			continue
+		for i := 0; i < n; i++ {
+			c.handlePacket(ms[i].Payload(), ms[i].Addr)
 		}
-		if kind, nonce, _, ok := parseLiveness(buf[:n]); ok {
-			switch kind {
-			case livenessPing:
-				// Symmetric liveness: a collector target proves itself
-				// alive the same way a reflector does.
-				c.conn.WriteTo(pongFor(nonce, now.UnixNano()), addr)
-			case livenessPong:
-				// A watchdog's mid-run re-check routes its pong through
-				// us, since we own the socket's read side.
-				c.mu.Lock()
-				c.lastPongNonce, c.lastPongAt = nonce, now
-				c.mu.Unlock()
-			}
-			continue
-		}
-		var h Header
-		if err := h.Unmarshal(buf[:n]); err != nil {
-			continue // not ours
-		}
-		c.record(&h, now)
 	}
+}
+
+// handlePacket classifies and processes one received datagram. addr may
+// be batch-reused storage, valid only for the duration of the call.
+func (c *Collector) handlePacket(buf []byte, addr net.Addr) {
+	now := time.Now()
+	if expID, ok := parseQuery(buf); ok {
+		// Control queries are rare; answer off the hot path so
+		// assembly does not stall probe reception. The batch loop
+		// reuses addr storage, so the async path gets a copy.
+		go c.handleQuery(expID, copyAddr(addr))
+		return
+	}
+	if kind, nonce, _, ok := parseLiveness(buf); ok {
+		switch kind {
+		case livenessPing:
+			// Symmetric liveness: a collector target proves itself
+			// alive the same way a reflector does.
+			c.conn.WriteTo(pongFor(nonce, now.UnixNano()), addr)
+		case livenessPong:
+			// A watchdog's mid-run re-check routes its pong through
+			// us, since we own the socket's read side.
+			c.mu.Lock()
+			c.lastPongNonce, c.lastPongAt = nonce, now
+			c.mu.Unlock()
+		}
+		return
+	}
+	var h Header
+	if err := h.Unmarshal(buf); err != nil {
+		return // not ours
+	}
+	c.record(&h, now)
+}
+
+// copyAddr snapshots a possibly-reused batch address for retention
+// beyond the current ReadBatch window.
+func copyAddr(addr net.Addr) net.Addr {
+	if ua, ok := addr.(*net.UDPAddr); ok {
+		cp := *ua
+		cp.IP = append(net.IP(nil), ua.IP...)
+		return &cp
+	}
+	return addr
 }
 
 func (c *Collector) record(h *Header, now time.Time) {

@@ -55,6 +55,16 @@ func FuzzControlQuery(f *testing.F) {
 	asReply := marshalQuery(9)
 	asReply[3] = 0x50 // reply magic in a query-sized frame
 	f.Add(asReply)
+	// Batch-boundary shapes: a buggy batcher would deliver glued frames,
+	// a frame padded out to the full batch slot, or a slot's stale tail
+	// after a shorter datagram. Each must parse exactly like its
+	// single-packet equivalent (prefix-only).
+	f.Add(append(marshalQuery(3), marshalQuery(4)...)) // two queries in one slot
+	padded := make([]byte, maxDatagram)
+	copy(padded, marshalQuery(5))
+	f.Add(padded) // query at the head of a full 2 KiB batch buffer
+	stale := append(marshalQuery(6), marshalQuery(^uint64(0))...)
+	f.Add(stale[:querySize+3]) // stale bytes from the previous batch fill
 	f.Fuzz(func(t *testing.T, data []byte) {
 		expID, ok := parseQuery(data)
 		if !ok {
@@ -127,6 +137,15 @@ func FuzzLiveness(f *testing.F) {
 	hdr := make([]byte, HeaderSize) // a probe header is not a liveness frame
 	(&Header{P: 0.3, N: 100, SlotWidth: time.Millisecond, Seed: 1}).Marshal(hdr)
 	f.Add(hdr)
+	// Batch-boundary shapes (see FuzzControlQuery): glued frames, a frame
+	// padded to the full batch slot, and a pong bleeding into a stale
+	// tail must all decode prefix-only, like their single-packet twins.
+	f.Add(append(marshalLiveness(livenessPing, 1, 2), marshalLiveness(livenessPong, 3, 4)...))
+	padded := make([]byte, maxDatagram)
+	copy(padded, marshalLiveness(livenessPong, 8, 9))
+	f.Add(padded)
+	stale := append(marshalLiveness(livenessPing, 5, 6), hdr...)
+	f.Add(stale[:livenessSize+5])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		kind, nonce, sendTime, ok := parseLiveness(data)
 		if !ok {

@@ -36,14 +36,26 @@ const (
 // nonce, send time.
 const livenessSize = 24
 
-// marshalLiveness builds a liveness frame.
-func marshalLiveness(kind uint8, nonce uint64, sendTime int64) []byte {
-	buf := make([]byte, livenessSize)
+// putLiveness encodes a liveness frame into buf (≥ livenessSize bytes)
+// without allocating, returning the frame length. The reflector's pong
+// path runs it against pooled per-shard scratch buffers, keeping the
+// echo loop allocation-free.
+func putLiveness(buf []byte, kind uint8, nonce uint64, sendTime int64) int {
+	_ = buf[livenessSize-1]
 	binary.BigEndian.PutUint32(buf[0:], LivenessMagic)
 	buf[4] = Version
 	buf[5] = kind
+	buf[6], buf[7] = 0, 0
 	binary.BigEndian.PutUint64(buf[8:], nonce)
 	binary.BigEndian.PutUint64(buf[16:], uint64(sendTime))
+	return livenessSize
+}
+
+// marshalLiveness builds a liveness frame on a fresh buffer (control
+// paths only; the hot path uses putLiveness).
+func marshalLiveness(kind uint8, nonce uint64, sendTime int64) []byte {
+	buf := make([]byte, livenessSize)
+	putLiveness(buf, kind, nonce, sendTime)
 	return buf
 }
 

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -36,6 +37,10 @@ type SenderConfig struct {
 	PacketsPerProbe int
 	// PacketSize: default 600, minimum HeaderSize.
 	PacketSize int
+	// DisableBatch forces per-packet probe writes even when the conn
+	// offers a batch fast path (sendmmsg). The chaos matrix runs the
+	// same session both ways and pins the estimates bit-identical.
+	DisableBatch bool
 }
 
 // Normalize fills defaults (slot width, packet sizing, clock-derived seed)
@@ -132,6 +137,52 @@ func SendSlots(ctx context.Context, conn net.Conn, cfg SenderConfig, slots []int
 	var failRunSlot int64
 	var lastWriteErr error
 
+	// writeOne is the single-packet slow path with the consecutive-
+	// write-failure guard: a rejected write is infrastructure failure,
+	// not path loss — count it and keep pacing. Only an unbroken run
+	// long enough to rule out a transient declares the far end dead.
+	writeOne := func(buf []byte, slot int64) error {
+		if _, err := conn.Write(buf); err != nil {
+			st.WriteFailures++
+			if consecFails == 0 {
+				failRunSlot = slot
+			}
+			consecFails++
+			lastWriteErr = err
+			if consecFails >= maxConsecutiveWriteFailures {
+				st.DeadSlot = failRunSlot
+				return fmt.Errorf("wire: %d consecutive write failures from slot %d (%v): %w",
+					consecFails, failRunSlot, lastWriteErr, session.ErrPathDead)
+			}
+			return nil
+		}
+		consecFails = 0
+		st.Packets++
+		return nil
+	}
+
+	// The batch fast path emits a probe's whole packet bunch with one
+	// sendmmsg. Any shortfall or error drops that bunch's remainder to
+	// writeOne, so failure accounting and the dead-path guard behave
+	// exactly as on the single-packet path.
+	var bw BatchWriter
+	if !cfg.DisableBatch {
+		if b, ok := conn.(BatchWriter); ok {
+			bw = b
+		} else {
+			bw = NewBatchWriter(conn)
+		}
+	}
+	var batch []Message
+	if bw != nil {
+		backing := make([]byte, cfg.PacketsPerProbe*cfg.PacketSize)
+		batch = make([]Message, cfg.PacketsPerProbe)
+		for i := range batch {
+			batch[i].Buf = backing[i*cfg.PacketSize : (i+1)*cfg.PacketSize]
+			batch[i].N = cfg.PacketSize
+		}
+	}
+
 	buf := make([]byte, cfg.PacketSize)
 	var seq uint64
 	h := Header{
@@ -173,34 +224,44 @@ func SendSlots(ctx context.Context, conn net.Conn, cfg SenderConfig, slots []int
 			st.MaxLag = lag
 		}
 		h.Slot = slot
-		for i := 0; i < cfg.PacketsPerProbe; i++ {
-			h.PktIdx = uint8(i)
-			h.SendTime = time.Now().UnixNano()
-			h.Seq = seq
-			seq++
-			if _, err := h.Marshal(buf); err != nil {
-				return st, err
-			}
-			if _, err := conn.Write(buf); err != nil {
-				// A rejected write is infrastructure failure, not path
-				// loss: count it and keep pacing. Only an unbroken run
-				// long enough to rule out a transient declares the far
-				// end dead.
-				st.WriteFailures++
-				if consecFails == 0 {
-					failRunSlot = slot
+		if bw != nil {
+			for i := 0; i < cfg.PacketsPerProbe; i++ {
+				h.PktIdx = uint8(i)
+				h.SendTime = time.Now().UnixNano()
+				h.Seq = seq
+				seq++
+				if _, err := h.Marshal(batch[i].Buf); err != nil {
+					return st, err
 				}
-				consecFails++
-				lastWriteErr = err
-				if consecFails >= maxConsecutiveWriteFailures {
-					st.DeadSlot = failRunSlot
-					return st, fmt.Errorf("wire: %d consecutive write failures from slot %d (%v): %w",
-						consecFails, failRunSlot, lastWriteErr, session.ErrPathDead)
-				}
-				continue
 			}
-			consecFails = 0
-			st.Packets++
+			n, err := bw.WriteBatch(batch)
+			st.Packets += n
+			if n > 0 {
+				consecFails = 0
+			}
+			if n != len(batch) || err != nil {
+				if errors.Is(err, ErrBatchUnsupported) {
+					bw = nil // stop probing a conn that cannot batch
+				}
+				for i := n; i < len(batch); i++ {
+					if werr := writeOne(batch[i].Buf, slot); werr != nil {
+						return st, werr
+					}
+				}
+			}
+		} else {
+			for i := 0; i < cfg.PacketsPerProbe; i++ {
+				h.PktIdx = uint8(i)
+				h.SendTime = time.Now().UnixNano()
+				h.Seq = seq
+				seq++
+				if _, err := h.Marshal(buf); err != nil {
+					return st, err
+				}
+				if err := writeOne(buf, slot); err != nil {
+					return st, err
+				}
+			}
 		}
 		if onProbe != nil {
 			onProbe(i, slot)
