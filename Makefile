@@ -17,13 +17,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/wire/... ./internal/session/... ./internal/fleet/... ./cmd/badabingd/... .
+	$(GO) test -race ./internal/runner/... ./internal/wire/... ./internal/session/... ./internal/fleet/... ./internal/store/... ./cmd/badabingd/... .
 
 # Fast pre-push gate: static checks plus the race-sensitive packages.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race -short ./internal/fleet/... ./internal/session/... ./internal/wire/... ./internal/runner/...
+	$(GO) test -race -short ./internal/fleet/... ./internal/session/... ./internal/wire/... ./internal/runner/... ./internal/store/...
 
 # Fault-injection matrix under the race detector: every impairment class
 # (drop, duplicate, reorder, delay, truncate, corrupt, bursts) against a
@@ -60,6 +60,7 @@ fuzz:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzControlReply -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzZingHeaderUnmarshal -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzLiveness -fuzztime 30s
+	$(GO) test ./internal/store/ -run '^$$' -fuzz FuzzWALDecode -fuzztime 30s
 
 # Reproduce every paper table and figure at full scale (≈25 minutes).
 experiments:

@@ -1,0 +1,267 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCrashChild is not a test: it is the subprocess body for
+// TestCrashRecovery. When the gate variable is set it runs the real
+// daemon against the parent's data dir until the parent SIGKILLs it.
+func TestCrashChild(t *testing.T) {
+	if os.Getenv("BADABINGD_CRASH_CHILD") != "1" {
+		t.Skip("crash-test child body; run via TestCrashRecovery")
+	}
+	// -fsync always so every acknowledged API write is on disk before
+	// the response: the parent's assertions don't race the kill.
+	err := run(context.Background(), []string{
+		"-listen", "127.0.0.1:0",
+		"-data-dir", os.Getenv("BADABINGD_CRASH_DIR"),
+		"-fsync", "always",
+		"-max-concurrent", "4",
+	}, os.Stdout, nil)
+	// Only reached if the daemon exits on its own — that is a failure;
+	// the parent expects to SIGKILL us.
+	fmt.Println("badabingd: child exited:", err)
+	os.Exit(3)
+}
+
+// startCrashChild re-execs the test binary as a daemon subprocess and
+// returns its API base URL once it logs the listen address.
+func startCrashChild(t *testing.T, dir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashChild$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"BADABINGD_CRASH_CHILD=1",
+		"BADABINGD_CRASH_DIR="+dir,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "badabingd: listening on "); ok {
+				addr, _, _ := strings.Cut(rest, " ")
+				select {
+				case addrc <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return cmd, "http://" + addr
+	case <-time.After(20 * time.Second):
+		t.Fatal("child daemon never logged its listen address")
+		return nil, ""
+	}
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func createSession(t *testing.T, base, cfg string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated || view.ID == "" {
+		t.Fatalf("create %s: status %d id %q", cfg, resp.StatusCode, view.ID)
+	}
+	return view.ID
+}
+
+func waitState(t *testing.T, base, id string, want func(string) bool) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, body := getBody(t, base+"/v1/sessions/"+id)
+		var view struct {
+			State string `json:"state"`
+		}
+		if status == http.StatusOK {
+			json.Unmarshal(body, &view)
+			if want(view.State) {
+				return view.State
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s stuck in %q (status %d)", id, view.State, status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// metricValue extracts an unlabelled sample from a Prometheus text
+// exposition.
+func metricValue(t *testing.T, body []byte, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad sample %q", name, line)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s missing from exposition", name)
+	return 0
+}
+
+// TestCrashRecovery is the end-to-end durability test: a real daemon
+// subprocess is SIGKILLed mid-run and restarted on the same data dir.
+// Terminal sessions must come back with their history byte-for-byte
+// intact, an opted-in running session must resume, a non-opted-in one
+// must surface as "recovered", and the registry totals must be monotone
+// across the crash.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash test")
+	}
+	dir := t.TempDir()
+
+	child1, base := startCrashChild(t, dir)
+
+	// A short session runs to completion: its history is the
+	// byte-for-byte baseline.
+	doneID := createSession(t, base, `{"scenario":"idle","slots":3000,"seed":7}`)
+	waitState(t, base, doneID, func(s string) bool { return s == "done" })
+	histURL := "/v1/sessions/" + doneID + "/history"
+	status, histBefore := getBody(t, base+histURL)
+	if status != http.StatusOK {
+		t.Fatalf("history before crash: %d", status)
+	}
+	var hist struct {
+		Store bool `json:"store"`
+		Count int  `json:"count"`
+	}
+	if err := json.Unmarshal(histBefore, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if !hist.Store || hist.Count == 0 {
+		t.Fatalf("history before crash: store=%v count=%d, want persisted points", hist.Store, hist.Count)
+	}
+
+	// Two slow sessions that will be mid-run at the kill: one opted into
+	// resume, one not.
+	slowCfg := `"scenario":"idle","slots":60000,"seed":3,"step_delay_micros":50000`
+	resumeID := createSession(t, base, `{`+slowCfg+`,"resume":true}`)
+	markID := createSession(t, base, `{`+slowCfg+`}`)
+	waitState(t, base, resumeID, func(s string) bool { return s == "running" })
+	waitState(t, base, markID, func(s string) bool { return s == "running" })
+
+	_, metricsBefore := getBody(t, base+"/metrics")
+	createdBefore := metricValue(t, metricsBefore, "badabingd_sessions_created_total")
+	if createdBefore != 3 {
+		t.Fatalf("created_total before crash = %v, want 3", createdBefore)
+	}
+
+	// Crash: no drain, no flush beyond what -fsync always already wrote.
+	if err := child1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	child1.Wait()
+
+	_, base2 := startCrashChild(t, dir)
+
+	// Terminal history is byte-for-byte identical across the restart.
+	status, histAfter := getBody(t, base2+histURL)
+	if status != http.StatusOK {
+		t.Fatalf("history after crash: %d", status)
+	}
+	if string(histAfter) != string(histBefore) {
+		t.Errorf("terminal history changed across crash:\nbefore: %s\nafter:  %s", histBefore, histAfter)
+	}
+	var doneView struct {
+		State string `json:"state"`
+	}
+	_, body := getBody(t, base2+"/v1/sessions/"+doneID)
+	json.Unmarshal(body, &doneView)
+	if doneView.State != "done" {
+		t.Errorf("terminal session state after crash: %q, want done", doneView.State)
+	}
+
+	// The resume-opted session is running (or queued) again.
+	st := waitState(t, base2, resumeID, func(s string) bool {
+		return s == "running" || s == "pending"
+	})
+	t.Logf("resumed session %s state after restart: %s", resumeID, st)
+
+	// The non-opted session is marked recovered, with its last persisted
+	// snapshot still visible.
+	var markView struct {
+		State     string `json:"state"`
+		Recovered bool   `json:"recovered"`
+	}
+	_, body = getBody(t, base2+"/v1/sessions/"+markID)
+	json.Unmarshal(body, &markView)
+	if markView.State != "recovered" || !markView.Recovered {
+		t.Errorf("interrupted session: state %q recovered %v, want recovered/true", markView.State, markView.Recovered)
+	}
+
+	// Registry totals are monotone across the crash, and the recovery
+	// metrics report the replay.
+	_, metricsAfter := getBody(t, base2+"/metrics")
+	createdAfter := metricValue(t, metricsAfter, "badabingd_sessions_created_total")
+	if createdAfter < createdBefore {
+		t.Errorf("created_total went backwards: %v -> %v", createdBefore, createdAfter)
+	}
+	for _, name := range []string{"badabingd_probes_sent_total", "badabingd_packets_sent_total"} {
+		before := metricValue(t, metricsBefore, name)
+		after := metricValue(t, metricsAfter, name)
+		if after < before {
+			t.Errorf("%s went backwards across crash: %v -> %v", name, before, after)
+		}
+	}
+	if replayed := metricValue(t, metricsAfter, "badabingd_store_records_replayed"); replayed == 0 {
+		t.Error("store_records_replayed = 0 after a crash restart")
+	}
+	if torn := metricValue(t, metricsAfter, "badabingd_store_torn_tails"); torn > 1 {
+		t.Errorf("store_torn_tails = %v, want at most the active segment", torn)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"badabing/internal/fleet"
+	"badabing/internal/store"
 	"badabing/internal/wire"
 )
 
@@ -52,19 +53,64 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	reflect := fs.String("reflect", "", "also host a UDP echo reflector on this address (e.g. :8643)")
 	reflectShards := fs.Int("reflect-shards", wire.DefaultReflectorShards(),
 		"echo goroutines for the co-hosted reflector (each with its own recvmmsg/sendmmsg batch state)")
+	dataDir := fs.String("data-dir", "", "durable measurement archive directory (empty = in-memory only)")
+	fsyncMode := fs.String("fsync", "interval", "WAL durability policy: always, interval or never")
+	fsyncInterval := fs.Duration("fsync-interval", 100*time.Millisecond, "batch-fsync cadence under -fsync interval")
+	segmentBytes := fs.Int64("segment-bytes", 4<<20, "WAL segment rotation size")
+	retention := fs.Duration("retention", 0, "drop archived history older than this (0 = keep forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The durable archive: WAL-backed session lifecycle + estimate
+	// history, replayed on startup so sessions survive crashes.
+	var sink fleet.Sink
+	var info store.RecoveryInfo
+	if *dataDir != "" {
+		policy, err := store.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		archive, rinfo, err := store.Open(store.Options{
+			Dir:           *dataDir,
+			SegmentBytes:  *segmentBytes,
+			Fsync:         policy,
+			FsyncInterval: *fsyncInterval,
+			Retention:     *retention,
+		})
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		sink = archive
+		info = rinfo
+		fmt.Fprintf(logw, "badabingd: store %s: replayed %d records from %d segments in %v (%d torn tails, %d sessions)\n",
+			*dataDir, rinfo.Records, max(rinfo.Segments, 1), rinfo.Duration.Round(time.Microsecond),
+			rinfo.TornTails, len(rinfo.Sessions))
 	}
 
 	reg := fleet.NewRegistry(fleet.Config{
 		MaxSessions:   *maxSessions,
 		MaxConcurrent: *maxConcurrent,
+		Store:         sink,
 	})
+	// Close (and therefore the store flush+close) runs only after every
+	// session goroutine joins; the registry owns that ordering.
 	defer reg.Close()
+
+	if sink != nil {
+		sum := reg.Restore(info)
+		if sum.Terminal+sum.Resumed+sum.Marked+sum.Skipped > 0 {
+			fmt.Fprintf(logw, "badabingd: recovered %d sessions (%d terminal, %d resumed, %d marked recovered, %d skipped)\n",
+				sum.Terminal+sum.Resumed+sum.Marked+sum.Skipped, sum.Terminal, sum.Resumed, sum.Marked, sum.Skipped)
+		}
+	}
 
 	// Optionally co-host a reflector so one daemon can serve as the far
 	// end of another's wire sessions; its counters ride on /metrics.
 	var extra []func(io.Writer)
+	if s, ok := sink.(*store.Store); ok {
+		extra = append(extra, func(w io.Writer) { writeStoreMetrics(w, s) })
+	}
 	if *reflect != "" {
 		pc, err := net.ListenPacket("udp", *reflect)
 		if err != nil {
@@ -124,6 +170,28 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		return err
 	}
 	return nil
+}
+
+// writeStoreMetrics appends the durable archive's counters to the
+// Prometheus exposition.
+func writeStoreMetrics(w io.Writer, s *store.Store) {
+	st := s.Stats()
+	emit := func(name, kind, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, kind, name, v)
+	}
+	emit("badabingd_store_bytes_written_total", "counter", "Bytes appended to the measurement WAL.", float64(st.BytesWritten))
+	emit("badabingd_store_records_written_total", "counter", "Records appended to the measurement WAL.", float64(st.RecordsWritten))
+	emit("badabingd_store_records_replayed", "gauge", "Records replayed from the WAL at the last startup.", float64(st.RecordsReplayed))
+	emit("badabingd_store_recovery_seconds", "gauge", "WAL replay duration at the last startup.", st.RecoverySeconds)
+	emit("badabingd_store_torn_tails", "gauge", "Segments whose replay ended at a torn or corrupt frame.", float64(st.TornTails))
+	emit("badabingd_store_segments", "gauge", "Live WAL segment files (sealed + active).", float64(st.Segments))
+	emit("badabingd_store_segments_dropped_total", "counter", "Segments deleted by retention.", float64(st.SegmentsDropped))
+	emit("badabingd_store_compactions_total", "counter", "Retention sweeps that dropped or compacted data.", float64(st.Compactions))
+	emit("badabingd_store_fsyncs_total", "counter", "WAL fsync calls.", float64(st.Fsyncs))
+	emit("badabingd_store_fsync_seconds_total", "counter", "Cumulative time spent in WAL fsyncs (latency = rate of this over fsyncs).", st.FsyncSeconds)
+	emit("badabingd_store_sessions", "gauge", "Sessions in the archive index.", float64(st.Sessions))
+	emit("badabingd_store_points", "gauge", "Estimate snapshots in the queryable series.", float64(st.Points))
+	emit("badabingd_store_dropped_after_close_total", "counter", "Events dropped because they arrived after store close (always 0 when shutdown ordering holds).", float64(st.DroppedAfterClose))
 }
 
 // writeReflectorMetrics appends the co-hosted reflector's counters to the

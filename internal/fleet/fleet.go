@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"badabing/internal/badabing"
 	"badabing/internal/runner"
 	"badabing/internal/session"
+	"badabing/internal/store"
 	"badabing/internal/wire"
 )
 
@@ -32,10 +34,13 @@ import (
 type State int
 
 // Session states. Pending sessions are created but waiting for a worker
-// slot; Done, Failed, Stopped and Degraded are terminal. Degraded marks a
-// session whose far end died mid-run (after any retries): it carries
-// partial estimates covering only the window the path was alive, clearly
-// flagged so the outage is never read as measured loss.
+// slot; Done, Failed, Stopped, Degraded and Recovered are terminal.
+// Degraded marks a session whose far end died mid-run (after any
+// retries): it carries partial estimates covering only the window the
+// path was alive, clearly flagged so the outage is never read as
+// measured loss. Recovered marks a session that was interrupted by a
+// daemon restart and whose spec did not opt into resuming: its partial
+// estimates and persisted history stand, clearly flagged as cut short.
 const (
 	Pending State = iota
 	Running
@@ -43,7 +48,11 @@ const (
 	Failed
 	Stopped
 	Degraded
+	Recovered
 )
+
+// states lists every State for name lookups and metrics rows.
+var states = []State{Pending, Running, Done, Failed, Stopped, Degraded, Recovered}
 
 func (s State) String() string {
 	switch s {
@@ -59,6 +68,8 @@ func (s State) String() string {
 		return "stopped"
 	case Degraded:
 		return "degraded"
+	case Recovered:
+		return "recovered"
 	default:
 		return "unknown"
 	}
@@ -66,12 +77,22 @@ func (s State) String() string {
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == Done || s == Failed || s == Stopped || s == Degraded
+	return s == Done || s == Failed || s == Stopped || s == Degraded || s == Recovered
 }
 
 // MarshalJSON renders the state as its lowercase name.
 func (s State) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + s.String() + `"`), nil
+}
+
+// stateFromString maps a lowercase name back to its State.
+func stateFromString(name string) (State, bool) {
+	for _, st := range states {
+		if st.String() == name {
+			return st, true
+		}
+	}
+	return 0, false
 }
 
 // UnmarshalJSON parses the lowercase name form emitted by MarshalJSON.
@@ -80,13 +101,12 @@ func (s *State) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &name); err != nil {
 		return err
 	}
-	for _, st := range []State{Pending, Running, Done, Failed, Stopped, Degraded} {
-		if st.String() == name {
-			*s = st
-			return nil
-		}
+	st, ok := stateFromString(name)
+	if !ok {
+		return fmt.Errorf("fleet: unknown session state %q", name)
 	}
-	return fmt.Errorf("fleet: unknown session state %q", name)
+	*s = st
+	return nil
 }
 
 // SessionConfig describes one measurement session. The zero value is
@@ -143,6 +163,12 @@ type SessionConfig struct {
 	// attempt (capped, jittered — the same curve the wire liveness
 	// handshake uses). Default 500ms when MaxRetries > 0.
 	RetryBackoffMillis int64 `json:"retry_backoff_millis,omitempty"`
+	// Resume opts the session into crash recovery: if the daemon
+	// restarts while the session is pending or running, the session is
+	// re-queued and measured again per this spec (its persisted history
+	// keeps accumulating). Without it an interrupted session is marked
+	// `recovered` — terminal, with its partial estimates standing.
+	Resume bool `json:"resume,omitempty"`
 }
 
 func (c *SessionConfig) applyDefaults() {
@@ -221,6 +247,30 @@ type Totals struct {
 	WriteFailures    int64
 }
 
+// Sink receives the registry's durable events: session lifecycle
+// transitions, periodic estimate snapshots and the lifetime totals.
+// *store.Store is the production implementation; store.NewMem() is the
+// in-memory test double. Implementations must be safe for concurrent
+// use; calls never block on anything slower than a local disk append.
+type Sink interface {
+	SessionCreated(id string, at time.Time, cfgJSON []byte, seed int64)
+	SessionState(id string, at time.Time, state string, terminal bool, errMsg string, retries int, seed int64)
+	SessionPoint(id string, p store.Point)
+	RegistryTotals(t store.Totals)
+}
+
+// HistorySource is the optional query side of a Sink: the persisted
+// F̂/D̂/loss-rate series behind GET /v1/sessions/{id}/history.
+type HistorySource interface {
+	History(id string, from, to time.Time) ([]store.Point, bool)
+}
+
+// StatsSource is the optional operational-stats side of a Sink (the
+// /v1/store/stats endpoint).
+type StatsSource interface {
+	Stats() store.Stats
+}
+
 // Config parameterizes a Registry.
 type Config struct {
 	// MaxSessions caps registered (non-deleted) sessions. Default 256.
@@ -231,6 +281,11 @@ type Config struct {
 	MaxConcurrent int
 	// Pool optionally shares an existing experiment engine.
 	Pool *runner.Pool
+	// Store receives durable events (nil disables persistence). If it
+	// also implements io.Closer, the registry closes it on Close/Drain —
+	// strictly after the last session goroutine joins, so no event is
+	// ever appended to a closed store.
+	Store Sink
 }
 
 // Registry owns the sessions. All methods are safe for concurrent use.
@@ -247,6 +302,12 @@ type Registry struct {
 	order    []string
 	nextID   int
 	closed   bool
+
+	// store receives durable events; storeOnce guards its close, which
+	// must happen exactly once and only after wg (every session monitor
+	// goroutine) has joined.
+	store     Sink
+	storeOnce sync.Once
 
 	totals struct {
 		sessionsCreated  atomic.Int64
@@ -284,6 +345,7 @@ func NewRegistry(cfg Config) *Registry {
 		rootCtx:  ctx,
 		cancel:   cancel,
 		sessions: make(map[string]*Session),
+		store:    cfg.Store,
 	}
 }
 
@@ -335,7 +397,21 @@ func (r *Registry) Create(cfg SessionConfig) (*Session, error) {
 	r.wg.Add(1)
 	r.mu.Unlock()
 	r.totals.sessionsCreated.Add(1)
+	if r.store != nil {
+		cfgJSON, _ := json.Marshal(cfg)
+		r.store.SessionCreated(id, s.created, cfgJSON, cfg.Seed)
+		r.store.RegistryTotals(r.storeTotals())
+	}
+	r.launch(ctx, s)
+	return s, nil
+}
 
+// launch submits a registered session to the pool and spawns its monitor
+// goroutine (retry loop + terminal transition). The caller has already
+// done r.wg.Add(1); the monitor owns the matching Done.
+func (r *Registry) launch(ctx context.Context, s *Session) {
+	cfg := s.cfg
+	id := s.ID
 	run := r.runOverride
 	if run == nil {
 		run = runSession
@@ -351,7 +427,11 @@ func (r *Registry) Create(cfg SessionConfig) (*Session, error) {
 						err = fmt.Errorf("fleet: session %s panicked: %v", id, p)
 					}
 				}()
-				s.setRunning()
+				if cfg.Seed != 0 {
+					seed = cfg.Seed
+				}
+				s.setRunning(seed)
+				r.emitState(s)
 				return nil, run(ctx, s, seed)
 			},
 		}})
@@ -365,9 +445,16 @@ func (r *Registry) Create(cfg SessionConfig) (*Session, error) {
 		MaxBackoff: 30 * time.Second,
 		Seed:       cfg.Seed,
 	}.BackoffSchedule()
+	finish := func(err error) {
+		s.finish(err)
+		r.totals.sessionsFinished.Add(1)
+		r.emitState(s)
+		if r.store != nil {
+			r.store.RegistryTotals(r.storeTotals())
+		}
+	}
 	go func() {
 		defer r.wg.Done()
-		defer r.totals.sessionsFinished.Add(1)
 		job := submit()
 		for attempt := 0; ; attempt++ {
 			results, _, _ := job.Wait()
@@ -377,23 +464,57 @@ func (r *Registry) Create(cfg SessionConfig) (*Session, error) {
 			}
 			if err == nil || errors.Is(err, context.Canceled) ||
 				ctx.Err() != nil || attempt >= cfg.MaxRetries {
-				s.finish(err)
+				finish(err)
 				return
 			}
 			s.beginRetry()
 			r.totals.sessionRetries.Add(1)
+			r.emitState(s)
 			timer := time.NewTimer(backoff[attempt])
 			select {
 			case <-ctx.Done():
 				timer.Stop()
-				s.finish(ctx.Err())
+				finish(ctx.Err())
 				return
 			case <-timer.C:
 			}
 			job = submit()
 		}
 	}()
-	return s, nil
+}
+
+// emitState forwards the session's current lifecycle position to the
+// store (no-op without one).
+func (r *Registry) emitState(s *Session) {
+	if r.store == nil {
+		return
+	}
+	s.mu.Lock()
+	state := s.state
+	errMsg := ""
+	if s.err != nil {
+		errMsg = s.err.Error()
+	}
+	retries := s.retries
+	seed := s.seed
+	s.mu.Unlock()
+	r.store.SessionState(s.ID, time.Now(), state.String(), state.Terminal(), errMsg, retries, seed)
+}
+
+// storeTotals converts the lifetime counters to the store's form.
+func (r *Registry) storeTotals() store.Totals {
+	t := r.Totals()
+	return store.Totals{
+		SessionsCreated:  t.SessionsCreated,
+		SessionsFinished: t.SessionsFinished,
+		SessionRetries:   t.SessionRetries,
+		ProbesSent:       t.ProbesSent,
+		ProbesLost:       t.ProbesLost,
+		PacketsSent:      t.PacketsSent,
+		PacketsLost:      t.PacketsLost,
+		Experiments:      t.Experiments,
+		WriteFailures:    t.WriteFailures,
+	}
 }
 
 // Get returns a session by id.
@@ -481,14 +602,28 @@ func (r *Registry) Totals() Totals {
 // Workers returns the concurrency bound.
 func (r *Registry) Workers() int { return r.pool.Workers() }
 
-// Close stops every session and waits for them to wind down. The
-// registry accepts no new sessions afterwards.
+// closeStore flushes and closes the event store, exactly once. It must
+// only be called after r.wg has joined: a store closed under a live
+// session goroutine would race its publish path (the old Drain bug —
+// pinned by TestDrainStoreOrdering).
+func (r *Registry) closeStore() {
+	r.storeOnce.Do(func() {
+		if c, ok := r.store.(io.Closer); ok && c != nil {
+			c.Close()
+		}
+	})
+}
+
+// Close stops every session and waits for them to wind down, then
+// flushes and closes the store. The registry accepts no new sessions
+// afterwards.
 func (r *Registry) Close() {
 	r.mu.Lock()
 	r.closed = true
 	r.mu.Unlock()
 	r.cancel()
 	r.wg.Wait()
+	r.closeStore()
 }
 
 // Drain is the graceful-shutdown form of Close: it stops accepting new
@@ -497,6 +632,10 @@ func (r *Registry) Close() {
 // to wind down. It reports whether everything finished within the
 // deadline; on false the daemon should exit anyway — the deadline exists
 // so shutdown is bounded.
+//
+// The store is flushed and closed only after the last session goroutine
+// joins — never at the deadline — so a slow drain cannot race a live
+// session's publish against the store shutdown.
 func (r *Registry) Drain(timeout time.Duration) bool {
 	r.mu.Lock()
 	r.closed = true
@@ -505,6 +644,7 @@ func (r *Registry) Drain(timeout time.Duration) bool {
 	done := make(chan struct{})
 	go func() {
 		r.wg.Wait()
+		r.closeStore()
 		close(done)
 	}()
 	timer := time.NewTimer(timeout)
@@ -533,14 +673,15 @@ type Session struct {
 
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	state    State
-	err      error
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	seed     int64
-	retries  int
+	mu        sync.Mutex
+	state     State
+	err       error
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	seed      int64
+	retries   int
+	recovered bool
 
 	snap      badabing.StreamSnapshot
 	slotsDone int64
@@ -607,12 +748,13 @@ func (s *Session) Retries() int {
 	return s.retries
 }
 
-func (s *Session) setRunning() {
+func (s *Session) setRunning(seed int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state == Pending {
 		s.state = Running
 		s.started = time.Now()
+		s.seed = seed
 	}
 }
 
@@ -680,7 +822,8 @@ func (s *Session) beginRetry() {
 }
 
 // publish stores a new snapshot and counter set, accumulating the deltas
-// into the registry's lifetime totals.
+// into the registry's lifetime totals and appending one point to the
+// session's persisted estimate series.
 func (s *Session) publish(snap badabing.StreamSnapshot, slotsDone int64, c SessionCounters) {
 	s.mu.Lock()
 	prev := s.counters
@@ -697,6 +840,22 @@ func (s *Session) publish(snap badabing.StreamSnapshot, slotsDone int64, c Sessi
 	if d := c.WriteFailures - prev.WriteFailures; d > 0 {
 		t.writeFailures.Add(d)
 	}
+	if st := s.reg.store; st != nil {
+		st.SessionPoint(s.ID, store.Point{
+			At:          time.Now().UnixNano(),
+			SlotsDone:   slotsDone,
+			M:           int64(snap.Total.M),
+			Frequency:   snap.Total.Frequency,
+			Duration:    snap.Total.Duration,
+			HasDuration: snap.Total.HasDuration,
+			ProbesSent:  c.ProbesSent,
+			ProbesLost:  c.ProbesLost,
+			PacketsSent: c.PacketsSent,
+			PacketsLost: c.PacketsLost,
+			Experiments: c.Experiments,
+		})
+		st.RegistryTotals(s.reg.storeTotals())
+	}
 }
 
 // View is the JSON shape of a session in the HTTP API.
@@ -712,6 +871,7 @@ type View struct {
 	Finished  *time.Time              `json:"finished,omitempty"`
 	SlotsDone int64                   `json:"slots_done"`
 	Retries   int                     `json:"retries,omitempty"`
+	Recovered bool                    `json:"recovered,omitempty"`
 	Counters  SessionCounters         `json:"counters"`
 	Snapshot  badabing.StreamSnapshot `json:"snapshot"`
 }
@@ -729,6 +889,7 @@ func (s *Session) View() View {
 		Created:   s.created,
 		SlotsDone: s.slotsDone,
 		Retries:   s.retries,
+		Recovered: s.recovered,
 		Counters:  s.counters,
 		Snapshot:  s.snap,
 	}

@@ -3,8 +3,13 @@ package fleet
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
+
+	"badabing/internal/store"
 )
 
 // maxCreateBody bounds the create endpoint's request body: a
@@ -18,20 +23,31 @@ const maxCreateBody = 1 << 20
 //	GET    /v1/sessions           list sessions
 //	GET    /v1/sessions/{id}      one session, config + counters + snapshot
 //	GET    /v1/sessions/{id}/snapshot   just the live estimate snapshot
+//	GET    /v1/sessions/{id}/history    persisted F̂/D̂/loss-rate series (?from=&to=)
 //	POST   /v1/sessions/{id}/stop cancel a session
 //	DELETE /v1/sessions/{id}      remove a terminal session
+//	GET    /v1/store/stats        durable-archive operational stats
 //	GET    /metrics               Prometheus text exposition
 //	GET    /healthz               liveness
 //
 // All non-metrics responses are JSON; errors are {"error": "..."}.
-// Malformed or unknown-field JSON and invalid configs are client errors
-// (400), never 500s; oversized bodies are cut off at 1 MiB (413); a
-// draining registry answers 503.
+// Status codes are uniform across routes: an unknown session id on any
+// /v1/sessions/{id}/... sub-resource is 404; a malformed payload or
+// query parameter is 400; unmatched paths are a JSON 404. Malformed or
+// unknown-field JSON and invalid configs are client errors (400), never
+// 500s; oversized bodies are cut off at 1 MiB (413); a draining
+// registry answers 503.
 //
 // extra metric sources (e.g. a co-hosted reflector's counters) are
 // appended to the /metrics exposition.
 func NewHandler(r *Registry, extra ...func(io.Writer)) http.Handler {
 	mux := http.NewServeMux()
+
+	// Every unmatched path falls through here: the API's 404s are JSON
+	// on every route, not just the ones with a {id} lookup.
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		writeError(w, http.StatusNotFound, errors.New("not found"))
+	})
 
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
 		req.Body = http.MaxBytesReader(w, req.Body, maxCreateBody)
@@ -93,6 +109,46 @@ func NewHandler(r *Registry, extra ...func(io.Writer)) http.Handler {
 		})
 	})
 
+	mux.HandleFunc("GET /v1/sessions/{id}/history", func(w http.ResponseWriter, req *http.Request) {
+		s, err := r.Get(req.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		from, err := parseTimeParam(req.URL.Query().Get("from"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		to, err := parseTimeParam(req.URL.Query().Get("to"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp := historyResponse{ID: s.ID, Points: []historyPoint{}}
+		if hs := r.HistorySourceOf(); hs != nil {
+			resp.Store = true
+			points, _ := hs.History(s.ID, from, to)
+			for _, p := range points {
+				resp.Points = append(resp.Points, historyPoint{
+					Point:    p,
+					At:       time.Unix(0, p.At).UTC(),
+					LossRate: p.LossRate(),
+				})
+			}
+		}
+		resp.Count = len(resp.Points)
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /v1/store/stats", func(w http.ResponseWriter, req *http.Request) {
+		if ss := r.StatsSourceOf(); ss != nil {
+			writeJSON(w, http.StatusOK, storeStatsResponse{Enabled: true, Stats: ptr(ss.Stats())})
+			return
+		}
+		writeJSON(w, http.StatusOK, storeStatsResponse{Enabled: false})
+	})
+
 	mux.HandleFunc("POST /v1/sessions/{id}/stop", func(w http.ResponseWriter, req *http.Request) {
 		s, err := r.Stop(req.PathValue("id"))
 		if err != nil {
@@ -129,6 +185,45 @@ func NewHandler(r *Registry, extra ...func(io.Writer)) http.Handler {
 	})
 
 	return mux
+}
+
+// historyResponse is the history endpoint's JSON shape. Field order is
+// fixed, so identical persisted series encode byte-for-byte identically
+// across daemon restarts.
+type historyResponse struct {
+	ID     string         `json:"id"`
+	Store  bool           `json:"store"`
+	Count  int            `json:"count"`
+	Points []historyPoint `json:"points"`
+}
+
+type historyPoint struct {
+	store.Point
+	At       time.Time `json:"at"`
+	LossRate float64   `json:"loss_rate"`
+}
+
+type storeStatsResponse struct {
+	Enabled bool         `json:"enabled"`
+	Stats   *store.Stats `json:"stats,omitempty"`
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// parseTimeParam accepts RFC3339(Nano) or integer Unix seconds; empty
+// means an open bound.
+func parseTimeParam(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(secs, 0), nil
+	}
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("fleet: bad time %q (want RFC3339 or unix seconds)", s)
+	}
+	return t, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

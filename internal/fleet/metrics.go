@@ -15,14 +15,11 @@ func WriteMetrics(w io.Writer, r *Registry) {
 
 	gauge(w, "badabingd_sessions_active", "Sessions currently measuring.",
 		sample{value: float64(counts[Running])})
-	gauge(w, "badabingd_sessions", "Registered sessions by lifecycle state.",
-		sample{labels: lbl("state", "pending"), value: float64(counts[Pending])},
-		sample{labels: lbl("state", "running"), value: float64(counts[Running])},
-		sample{labels: lbl("state", "done"), value: float64(counts[Done])},
-		sample{labels: lbl("state", "failed"), value: float64(counts[Failed])},
-		sample{labels: lbl("state", "stopped"), value: float64(counts[Stopped])},
-		sample{labels: lbl("state", "degraded"), value: float64(counts[Degraded])},
-	)
+	rows := make([]sample, 0, len(states))
+	for _, st := range states {
+		rows = append(rows, sample{labels: lbl("state", st.String()), value: float64(counts[st])})
+	}
+	gauge(w, "badabingd_sessions", "Registered sessions by lifecycle state.", rows...)
 	gauge(w, "badabingd_queue_depth", "Sessions waiting for a worker slot.",
 		sample{labels: lbl("queue", "pending"), value: float64(counts[Pending])})
 	gauge(w, "badabingd_workers", "Concurrent session bound.",

@@ -1,0 +1,254 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strconv"
+	"strings"
+	"time"
+
+	"badabing/internal/badabing"
+	"badabing/internal/store"
+)
+
+// ErrInterrupted is the failure cause carried by sessions that were
+// pending or running when the daemon died and whose spec did not opt
+// into resuming (SessionConfig.Resume). Their partial estimates and
+// persisted history stand.
+var ErrInterrupted = errors.New("fleet: session interrupted by daemon restart")
+
+// RestoreSummary reports what Restore did with the recovered sessions.
+type RestoreSummary struct {
+	// Terminal sessions were re-registered in their final state; their
+	// history is queryable but nothing runs.
+	Terminal int
+	// Resumed sessions were pending or running at the crash and opted
+	// into Resume: they are re-queued and measure again per their spec.
+	Resumed int
+	// Marked sessions were pending or running but did not opt in: they
+	// are now terminal in state Recovered.
+	Marked int
+	// Skipped sessions could not be restored (undecodable config, id
+	// collision); their history remains queryable through the store.
+	Skipped int
+}
+
+// Restore re-registers sessions recovered from the store's WAL replay
+// and restores the lifetime totals, so a restarted daemon carries on
+// where the previous process stopped:
+//
+//   - terminal sessions come back in their final state with their last
+//     snapshot, counters and full persisted history;
+//   - interrupted (pending/running) sessions whose spec set Resume are
+//     re-queued and measured again, appending to the same history;
+//   - other interrupted sessions go terminal in state Recovered.
+//
+// Restore must run before the registry serves traffic (sessions created
+// later take ids above the recovered ones). It is not an error to call
+// it with no recovered sessions.
+func (r *Registry) Restore(info store.RecoveryInfo) RestoreSummary {
+	r.restoreTotals(info.Totals)
+	var sum RestoreSummary
+	for _, rec := range info.Sessions {
+		switch r.restoreSession(rec) {
+		case restoreTerminal:
+			sum.Terminal++
+		case restoreResumed:
+			sum.Resumed++
+		case restoreMarked:
+			sum.Marked++
+		default:
+			sum.Skipped++
+		}
+	}
+	return sum
+}
+
+// restoreTotals seeds the lifetime counters with the persisted values so
+// /metrics totals are monotone across restarts.
+func (r *Registry) restoreTotals(t store.Totals) {
+	r.totals.sessionsCreated.Add(t.SessionsCreated)
+	r.totals.sessionsFinished.Add(t.SessionsFinished)
+	r.totals.sessionRetries.Add(t.SessionRetries)
+	r.totals.probesSent.Add(t.ProbesSent)
+	r.totals.probesLost.Add(t.ProbesLost)
+	r.totals.packetsSent.Add(t.PacketsSent)
+	r.totals.packetsLost.Add(t.PacketsLost)
+	r.totals.experiments.Add(t.Experiments)
+	r.totals.writeFailures.Add(t.WriteFailures)
+}
+
+type restoreOutcome int
+
+const (
+	restoreSkipped restoreOutcome = iota
+	restoreTerminal
+	restoreResumed
+	restoreMarked
+)
+
+func (r *Registry) restoreSession(rec store.Session) restoreOutcome {
+	// Even a session we cannot re-register must keep its id number
+	// reserved: its history is still in the archive, and a fresh session
+	// minted under the same id would append to it.
+	defer r.reserveID(rec.ID)
+	var cfg SessionConfig
+	if err := json.Unmarshal(rec.ConfigJSON, &cfg); err != nil || len(rec.ConfigJSON) == 0 {
+		return restoreSkipped
+	}
+	cfg.applyDefaults()
+	if cfg.Validate() != nil {
+		return restoreSkipped
+	}
+	if rec.Seed != 0 {
+		// Pin the recovered seed so a resumed run re-draws the same
+		// schedule the interrupted one was measuring.
+		cfg.Seed = rec.Seed
+	}
+
+	state, known := stateFromString(rec.State)
+	if !known {
+		state = Failed
+	}
+
+	ctx, cancel := context.WithCancel(r.rootCtx)
+	s := &Session{
+		ID:        rec.ID,
+		cfg:       cfg,
+		reg:       r,
+		cancel:    cancel,
+		created:   orNow(rec.Created),
+		seed:      rec.Seed,
+		retries:   rec.Retries,
+		recovered: true,
+		started:   rec.Started,
+	}
+	s.snap.LastSlot = -1
+	if rec.Points > 0 {
+		s.snap = snapshotOfPoint(rec.LastPoint)
+		s.slotsDone = rec.LastPoint.SlotsDone
+		s.counters = countersOfPoint(rec.LastPoint)
+	}
+
+	resume := false
+	switch {
+	case state.Terminal():
+		s.state = state
+		s.finished = orNow(rec.Finished)
+		if rec.Err != "" {
+			s.err = errors.New(rec.Err)
+		}
+	case cfg.Resume:
+		s.state = Pending
+		s.started = time.Time{}
+		resume = true
+	default:
+		s.state = Recovered
+		s.err = ErrInterrupted
+		s.finished = time.Now()
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		cancel()
+		return restoreSkipped
+	}
+	if _, exists := r.sessions[rec.ID]; exists {
+		r.mu.Unlock()
+		cancel()
+		return restoreSkipped
+	}
+	r.sessions[rec.ID] = s
+	r.order = append(r.order, rec.ID)
+	if resume {
+		r.wg.Add(1)
+	}
+	r.mu.Unlock()
+
+	switch {
+	case resume:
+		r.launch(ctx, s)
+		return restoreResumed
+	case state.Terminal():
+		cancel()
+		return restoreTerminal
+	default:
+		cancel()
+		// Tell the archive the interruption is now a terminal fact, so
+		// the next restart replays it as such.
+		r.emitState(s)
+		return restoreMarked
+	}
+}
+
+// snapshotOfPoint rebuilds the live-view snapshot from the last
+// persisted point (total estimates only: the window has aged out).
+func snapshotOfPoint(p store.Point) badabing.StreamSnapshot {
+	est := badabing.Estimates{
+		M:           int(p.M),
+		Frequency:   p.Frequency,
+		Duration:    p.Duration,
+		HasDuration: p.HasDuration,
+	}
+	return badabing.StreamSnapshot{
+		Total:    est,
+		Window:   est,
+		LastSlot: -1,
+	}
+}
+
+func countersOfPoint(p store.Point) SessionCounters {
+	return SessionCounters{
+		ProbesSent:  p.ProbesSent,
+		ProbesLost:  p.ProbesLost,
+		PacketsSent: p.PacketsSent,
+		PacketsLost: p.PacketsLost,
+		Experiments: p.Experiments,
+	}
+}
+
+// reserveID keeps the id allocator above every recovered id, whether or
+// not the session was re-registered.
+func (r *Registry) reserveID(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := idNumber(id); n > r.nextID {
+		r.nextID = n
+	}
+}
+
+// idNumber parses the numeric part of a generated session id ("s0042"
+// → 42), 0 for foreign ids.
+func idNumber(id string) int {
+	if !strings.HasPrefix(id, "s") {
+		return 0
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "s"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+func orNow(t time.Time) time.Time {
+	if t.IsZero() {
+		return time.Now()
+	}
+	return t
+}
+
+// HistorySourceOf returns the query side of the registry's store, nil
+// when persistence is disabled or the sink cannot serve history.
+func (r *Registry) HistorySourceOf() HistorySource {
+	hs, _ := r.store.(HistorySource)
+	return hs
+}
+
+// StatsSourceOf returns the stats side of the registry's store, nil when
+// unavailable.
+func (r *Registry) StatsSourceOf() StatsSource {
+	ss, _ := r.store.(StatsSource)
+	return ss
+}

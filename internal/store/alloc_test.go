@@ -1,0 +1,86 @@
+//go:build !race
+
+// Allocation and recovery-speed pins for the durable archive. The WAL's
+// steady-state write is one recPoint per publish interval per session;
+// the encode must stay off the allocator so a large fleet doesn't turn
+// its persistence layer into GC pressure. Gated from -race because the
+// race runtime adds its own allocations.
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEncodePointZeroAlloc pins the hot-path point encode at zero heap
+// allocations once the scratch buffer has warmed up.
+func TestEncodePointZeroAlloc(t *testing.T) {
+	s, _ := openT(t, Options{Dir: t.TempDir(), Fsync: FsyncNever})
+	defer s.Close()
+	p := testPoint(time.Now().UnixNano(), 3)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.encodePointLocked("s0001", p) // warm the scratch buffer
+	if avg := testing.AllocsPerRun(500, func() {
+		s.encodePointLocked("s0001", p)
+	}); avg != 0 {
+		t.Errorf("encodePointLocked allocates %.2f times per run, want 0", avg)
+	}
+}
+
+// TestSessionPointAllocBound pins the full append path (encode + frame
+// + segment write + in-memory series) under one amortized allocation
+// per record: only the points slice's geometric growth may allocate.
+func TestSessionPointAllocBound(t *testing.T) {
+	s, _ := openT(t, Options{Dir: t.TempDir(), Fsync: FsyncNever})
+	defer s.Close()
+	at := time.Unix(6000, 0).UnixNano()
+	s.SessionPoint("s0001", testPoint(at, 0))
+	i := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		i++
+		s.SessionPoint("s0001", testPoint(at+int64(i)*int64(time.Second), i))
+	}); avg > 1 {
+		t.Errorf("SessionPoint allocates %.2f times per run, want <= 1 amortized", avg)
+	}
+}
+
+// TestRecoverySpeed replays a 100k-record log and requires recovery to
+// finish in under a second (the acceptance bound; on CI-class hardware
+// it is typically tens of milliseconds).
+func TestRecoverySpeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-record log build")
+	}
+	dir := t.TempDir()
+	s, _ := openT(t, Options{Dir: dir, Fsync: FsyncNever})
+	base := time.Unix(7000, 0)
+	const sessions = 10
+	const perSession = 10_000 // 100k records total
+	ids := make([]string, sessions)
+	for i := range ids {
+		ids[i] = string(rune('a'+i)) + "-sess"
+		s.SessionCreated(ids[i], base, []byte(`{"scenario":"idle"}`), int64(i+1))
+	}
+	for n := 1; n < perSession; n++ {
+		at := base.Add(time.Duration(n) * time.Second).UnixNano()
+		for _, id := range ids {
+			s.SessionPoint(id, testPoint(at, n))
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	s2, info := openT(t, Options{Dir: dir, Fsync: FsyncNever})
+	elapsed := time.Since(start)
+	defer s2.Close()
+	if info.Records < sessions*perSession {
+		t.Fatalf("replayed %d records, want >= %d", info.Records, sessions*perSession)
+	}
+	if elapsed > time.Second {
+		t.Errorf("recovery of %d records took %v, want < 1s", info.Records, elapsed)
+	}
+	t.Logf("recovered %d records from %d segments in %v", info.Records, info.Segments, elapsed)
+}

@@ -1,0 +1,163 @@
+package store
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildSegment writes n points through a real store and returns the
+// single segment's bytes plus the record frame boundaries (offsets
+// relative to the start of the file, after the magic).
+func buildSegment(t *testing.T, n int) (dir string, raw []byte, bounds []int) {
+	t.Helper()
+	dir = t.TempDir()
+	s, _ := openT(t, Options{Dir: dir, Fsync: FsyncNever})
+	base := time.Unix(4000, 0)
+	s.SessionCreated("s0001", base, []byte(`{"scenario":"idle"}`), 1)
+	for i := 1; i < n; i++ {
+		s.SessionPoint("s0001", testPoint(base.Add(time.Duration(i)*time.Second).UnixNano(), i))
+	}
+	s.Close()
+	raw, err := os.ReadFile(filepath.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := len(segMagic)
+	for off < len(raw) {
+		ln := int(binary.LittleEndian.Uint32(raw[off:]))
+		off += recordOverhead + ln
+		bounds = append(bounds, off)
+	}
+	if len(bounds) != n {
+		t.Fatalf("built %d records, want %d", len(bounds), n)
+	}
+	return dir, raw, bounds
+}
+
+func reopenWith(t *testing.T, dir string, raw []byte) (*Store, RecoveryInfo) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return openT(t, Options{Dir: dir, Fsync: FsyncNever})
+}
+
+// TestCorruptSegmentRecovery: every class of segment damage — truncation
+// at any byte, a flipped CRC, a flipped payload byte, a garbage length —
+// recovers the clean prefix without error or panic.
+func TestCorruptSegmentRecovery(t *testing.T) {
+	const n = 6
+	t.Run("truncated-at-every-boundary", func(t *testing.T) {
+		dir, raw, bounds := buildSegment(t, n)
+		for i, b := range bounds[:n-1] {
+			s, info := reopenWith(t, dir, raw[:b])
+			if info.Records != i+1 {
+				t.Errorf("truncate at record %d: replayed %d", i+1, info.Records)
+			}
+			if info.TornTails != 0 {
+				t.Errorf("clean boundary read as torn: %d", info.TornTails)
+			}
+			s.Close()
+		}
+	})
+	t.Run("truncated-mid-record", func(t *testing.T) {
+		dir, raw, bounds := buildSegment(t, n)
+		for i, cut := range []int{bounds[2] + 3, bounds[3] - 1, bounds[0] + recordOverhead} {
+			s, info := reopenWith(t, dir, raw[:cut])
+			if info.TornTails != 1 {
+				t.Errorf("case %d: torn=%d, want 1", i, info.TornTails)
+			}
+			if info.Records >= n {
+				t.Errorf("case %d: replayed %d of a torn log", i, info.Records)
+			}
+			s.Close()
+		}
+	})
+	t.Run("flipped-crc", func(t *testing.T) {
+		dir, raw, bounds := buildSegment(t, n)
+		mut := append([]byte(nil), raw...)
+		mut[bounds[2]+4] ^= 0xff // CRC byte of record 4
+		s, info := reopenWith(t, dir, mut)
+		if info.Records != 3 || info.TornTails != 1 {
+			t.Errorf("records %d torn %d, want 3/1", info.Records, info.TornTails)
+		}
+		s.Close()
+	})
+	t.Run("flipped-payload", func(t *testing.T) {
+		dir, raw, bounds := buildSegment(t, n)
+		mut := append([]byte(nil), raw...)
+		mut[bounds[1]+recordOverhead+5] ^= 0x01 // inside record 3's payload
+		s, info := reopenWith(t, dir, mut)
+		if info.Records != 2 || info.TornTails != 1 {
+			t.Errorf("records %d torn %d, want 2/1", info.Records, info.TornTails)
+		}
+		s.Close()
+	})
+	t.Run("garbage-length", func(t *testing.T) {
+		dir, raw, bounds := buildSegment(t, n)
+		for _, ln := range []uint32{0xffffffff, maxRecord + 1, 1 << 30} {
+			mut := append([]byte(nil), raw...)
+			binary.LittleEndian.PutUint32(mut[bounds[1]:], ln)
+			s, info := reopenWith(t, dir, mut)
+			if info.Records != 2 || info.TornTails != 1 {
+				t.Errorf("len %#x: records %d torn %d, want 2/1", ln, info.Records, info.TornTails)
+			}
+			s.Close()
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		dir, raw, _ := buildSegment(t, n)
+		mut := append([]byte(nil), raw...)
+		mut[0] = 'X'
+		s, info := reopenWith(t, dir, mut)
+		if info.Records != 0 || info.TornTails != 1 {
+			t.Errorf("records %d torn %d, want 0/1", info.Records, info.TornTails)
+		}
+		// the segment is re-initialized: appends must round-trip
+		s.SessionPoint("fresh", testPoint(99, 9))
+		s.Close()
+		s2, info2 := openT(t, Options{Dir: dir, Fsync: FsyncNever})
+		if info2.Records != 1 {
+			t.Errorf("after reinit: replayed %d, want 1", info2.Records)
+		}
+		s2.Close()
+	})
+	t.Run("corrupt-middle-segment", func(t *testing.T) {
+		// damage in a sealed (non-last) segment must not stop later
+		// segments from replaying
+		dir := t.TempDir()
+		s, _ := openT(t, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 512})
+		base := time.Unix(4100, 0)
+		for i := 1; i <= 40; i++ {
+			s.SessionPoint("s0001", testPoint(base.Add(time.Duration(i)*time.Second).UnixNano(), i))
+		}
+		s.Close()
+		segs, _ := listSegments(dir)
+		if len(segs) < 3 {
+			t.Fatalf("want >=3 segments, got %v", segs)
+		}
+		mid := filepath.Join(dir, segName(segs[1]))
+		raw, _ := os.ReadFile(mid)
+		raw[len(segMagic)+recordOverhead+2] ^= 0xff
+		os.WriteFile(mid, raw, 0o644)
+
+		s2, info := openT(t, Options{Dir: dir, Fsync: FsyncNever, SegmentBytes: 512})
+		defer s2.Close()
+		if info.TornTails != 1 {
+			t.Errorf("torn %d, want 1", info.TornTails)
+		}
+		hist, _ := s2.History("s0001", time.Time{}, time.Time{})
+		// records from the first and last segments survive; only the
+		// damaged middle segment's tail is lost
+		if len(hist) >= 40 || len(hist) == 0 {
+			t.Errorf("history %d, want partial", len(hist))
+		}
+		last := hist[len(hist)-1]
+		if last.At != base.Add(40*time.Second).UnixNano() {
+			t.Errorf("newest record lost: %v", last.At)
+		}
+	})
+}

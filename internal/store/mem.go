@@ -1,0 +1,169 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Mem is an in-memory stand-in for Store: it satisfies the registry's
+// sink and history interfaces without touching disk, so fleet tests can
+// assert on the exact event flow. It additionally counts events arriving
+// after Close — the drain-ordering regression signal (the registry must
+// close the sink only after the last session goroutine joins).
+type Mem struct {
+	mu         sync.Mutex
+	closed     bool
+	sessions   map[string]*sessionRec
+	order      []string
+	totals     Totals
+	events     []string // compact trace: "created s0001", "state s0001 running", ...
+	afterClose int
+}
+
+// NewMem builds an empty in-memory sink.
+func NewMem() *Mem {
+	return &Mem{sessions: make(map[string]*sessionRec)}
+}
+
+func (m *Mem) upsert(id string) *sessionRec {
+	sr, ok := m.sessions[id]
+	if !ok {
+		sr = &sessionRec{id: id, state: "pending"}
+		m.sessions[id] = sr
+		m.order = append(m.order, id)
+	}
+	return sr
+}
+
+func (m *Mem) note(ev string) bool {
+	if m.closed {
+		m.afterClose++
+		return false
+	}
+	m.events = append(m.events, ev)
+	return true
+}
+
+// SessionCreated mirrors Store.SessionCreated.
+func (m *Mem) SessionCreated(id string, at time.Time, cfgJSON []byte, seed int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.note("created " + id) {
+		return
+	}
+	sr := m.upsert(id)
+	sr.cfgJSON = append([]byte(nil), cfgJSON...)
+	sr.createdNs = at.UnixNano()
+	if seed != 0 {
+		sr.seed = seed
+	}
+}
+
+// SessionState mirrors Store.SessionState.
+func (m *Mem) SessionState(id string, at time.Time, state string, terminal bool, errMsg string, retries int, seed int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.note("state " + id + " " + state) {
+		return
+	}
+	sr := m.upsert(id)
+	sr.state = state
+	sr.term = terminal
+	sr.errMsg = errMsg
+	sr.retries = retries
+	if seed != 0 {
+		sr.seed = seed
+	}
+	switch {
+	case terminal:
+		sr.finishedNs = at.UnixNano()
+	case state == "running" && sr.startedNs == 0:
+		sr.startedNs = at.UnixNano()
+	}
+}
+
+// SessionPoint mirrors Store.SessionPoint.
+func (m *Mem) SessionPoint(id string, p Point) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.note("point " + id) {
+		return
+	}
+	m.upsert(id).addPoint(p)
+}
+
+// RegistryTotals mirrors Store.RegistryTotals.
+func (m *Mem) RegistryTotals(t Totals) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.note("totals") {
+		return
+	}
+	m.totals.maxTotals(t)
+}
+
+// History mirrors Store.History.
+func (m *Mem) History(id string, from, to time.Time) ([]Point, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sr, ok := m.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	fromNs, toNs := rangeNs(from, to)
+	out := make([]Point, 0, len(sr.points))
+	for _, p := range sr.points {
+		if p.At >= fromNs && p.At <= toNs {
+			out = append(out, p)
+		}
+	}
+	return out, true
+}
+
+// Sessions mirrors Store.Sessions.
+func (m *Mem) Sessions() []Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Session, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.sessions[id].view())
+	}
+	return out
+}
+
+// Totals returns the recorded registry counters.
+func (m *Mem) Totals() Totals {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totals
+}
+
+// Close marks the sink closed; later events only bump AfterClose.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// Closed reports whether Close has run.
+func (m *Mem) Closed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// AfterClose counts events that arrived after Close — always zero when
+// the registry's shutdown ordering is correct.
+func (m *Mem) AfterClose() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.afterClose
+}
+
+// Events returns the ordered event trace.
+func (m *Mem) Events() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.events...)
+}

@@ -1,0 +1,314 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// FsyncPolicy selects when appended records are flushed to stable
+// storage.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval batches fsyncs on a timer (Options.FsyncInterval):
+	// a crash can lose at most one interval's records. The default.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways fsyncs after every append: nothing acknowledged is
+	// ever lost, at the cost of one fsync per record.
+	FsyncAlways
+	// FsyncNever leaves flushing to the OS page cache. Fastest; a crash
+	// may lose everything since the last kernel writeback.
+	FsyncNever
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// ParseFsyncPolicy parses the -fsync flag forms.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return FsyncAlways, nil
+	case "interval", "batch", "":
+		return FsyncInterval, nil
+	case "never", "none":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+func segName(index int) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, index, segSuffix)
+}
+
+// segIndexOf parses a segment filename, -1 for foreign files.
+func segIndexOf(name string) int {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return -1
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// listSegments returns the segment indexes present in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idx []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if n := segIndexOf(e.Name()); n >= 0 {
+			idx = append(idx, n)
+		}
+	}
+	sort.Ints(idx)
+	return idx, nil
+}
+
+// segment is one open WAL file (only the active segment is ever open
+// for writing).
+type segment struct {
+	f     *os.File
+	index int
+	size  int64 // bytes written including magic
+	// firstAt/lastAt are the record-time bounds, for retention.
+	firstAt, lastAt int64
+}
+
+// wal owns the segment files: appends, rotation, fsync accounting.
+// It is not goroutine-safe; Store serializes access.
+type wal struct {
+	dir          string
+	segmentBytes int64
+	policy       FsyncPolicy
+
+	active *segment
+	// sealed segments still on disk, ascending by index. Only metadata
+	// is kept; the files are not held open.
+	sealed []segMeta
+
+	dirty bool // records appended since the last fsync
+
+	// metrics, read lock-free by Stats/metrics scrapes.
+	bytesWritten    atomic.Int64
+	recordsWritten  atomic.Int64
+	fsyncs          atomic.Int64
+	fsyncNanos      atomic.Int64
+	segmentsCreated atomic.Int64
+	segmentsDropped atomic.Int64
+	lastErr         atomic.Value // error string
+}
+
+type segMeta struct {
+	index           int
+	size            int64
+	firstAt, lastAt int64
+}
+
+func (w *wal) setErr(err error) {
+	if err != nil {
+		w.lastErr.Store(err.Error())
+	}
+}
+
+// openWAL opens dir's highest segment for append (truncating a torn
+// tail to validSize first) or creates segment startIndex when none
+// exists. Recovery has already scanned the files.
+func (w *wal) openActive(index int, validSize int64, meta segMeta) error {
+	path := filepath.Join(w.dir, segName(index))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if st.Size() < int64(len(segMagic)) || validSize < int64(len(segMagic)) {
+		// brand new (or hopelessly corrupt) segment: write the magic.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.WriteAt(segMagic[:], 0); err != nil {
+			f.Close()
+			return err
+		}
+		validSize = int64(len(segMagic))
+		w.segmentsCreated.Add(1)
+	} else if st.Size() > validSize {
+		// torn tail: drop the bytes after the last valid record so new
+		// appends continue a clean prefix.
+		if err := f.Truncate(validSize); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.Seek(validSize, 0); err != nil {
+		f.Close()
+		return err
+	}
+	w.active = &segment{f: f, index: index, size: validSize,
+		firstAt: meta.firstAt, lastAt: meta.lastAt}
+	return nil
+}
+
+// rotate seals the active segment and opens the next one.
+func (w *wal) rotate() error {
+	a := w.active
+	if err := w.fsync(); err != nil {
+		return err
+	}
+	if err := a.f.Close(); err != nil {
+		return err
+	}
+	w.sealed = append(w.sealed, segMeta{index: a.index, size: a.size,
+		firstAt: a.firstAt, lastAt: a.lastAt})
+	w.active = nil
+	if err := w.openActive(a.index+1, 0, segMeta{}); err != nil {
+		return err
+	}
+	return syncDir(w.dir)
+}
+
+// append writes one framed record (frame already applied to buf) and
+// applies the fsync policy. at is the record's logical timestamp for
+// retention bookkeeping (0 for untimed records).
+func (w *wal) append(buf []byte, at int64) error {
+	a := w.active
+	if a == nil {
+		return errors.New("store: wal closed")
+	}
+	n, err := a.f.Write(buf)
+	a.size += int64(n)
+	w.bytesWritten.Add(int64(n))
+	if err != nil {
+		w.setErr(err)
+		return err
+	}
+	w.recordsWritten.Add(1)
+	if at != 0 {
+		if a.firstAt == 0 {
+			a.firstAt = at
+		}
+		a.lastAt = at
+	}
+	w.dirty = true
+	if w.policy == FsyncAlways {
+		if err := w.fsync(); err != nil {
+			return err
+		}
+	}
+	if a.size >= w.segmentBytes {
+		return w.rotate()
+	}
+	return nil
+}
+
+// fsync flushes the active segment if dirty.
+func (w *wal) fsync() error {
+	if !w.dirty || w.active == nil || w.policy == FsyncNever {
+		w.dirty = false
+		return nil
+	}
+	start := time.Now()
+	err := w.active.f.Sync()
+	w.fsyncs.Add(1)
+	w.fsyncNanos.Add(int64(time.Since(start)))
+	if err != nil {
+		w.setErr(err)
+		return err
+	}
+	w.dirty = false
+	return nil
+}
+
+// dropSealed deletes sealed segments for which keep returns false,
+// returning how many were removed.
+func (w *wal) dropSealed(keep func(segMeta) bool) (int, error) {
+	var kept []segMeta
+	dropped := 0
+	var firstErr error
+	for _, m := range w.sealed {
+		if keep(m) {
+			kept = append(kept, m)
+			continue
+		}
+		if err := os.Remove(filepath.Join(w.dir, segName(m.index))); err != nil && !os.IsNotExist(err) {
+			w.setErr(err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			kept = append(kept, m)
+			continue
+		}
+		dropped++
+	}
+	w.sealed = kept
+	if dropped > 0 {
+		w.segmentsDropped.Add(int64(dropped))
+		if err := syncDir(w.dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return dropped, firstErr
+}
+
+func (w *wal) close() error {
+	if w.active == nil {
+		return nil
+	}
+	err := w.fsync()
+	if cerr := w.active.f.Close(); err == nil {
+		err = cerr
+	}
+	w.active = nil
+	return err
+}
+
+// segmentCount is sealed + active.
+func (w *wal) segmentCount() int {
+	n := len(w.sealed)
+	if w.active != nil {
+		n++
+	}
+	return n
+}
+
+// syncDir fsyncs a directory so renames/creates/removes are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
