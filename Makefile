@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check chaos bench bench-smoke bench-paper bench-full fuzz experiments clean
+.PHONY: all build vet test race check chaos lint bench bench-smoke bench-paper bench-full fuzz experiments clean
 
 all: build vet test
 
@@ -34,6 +34,14 @@ chaos:
 		-run 'TestImpaired|TestBatchFallbackParity|TestHung|TestKilled|TestHandshake|TestFlaky'
 	$(GO) test -race -count=1 ./internal/session/wiretransport/... ./cmd/badabingd/...
 	$(GO) test -race -count=1 ./internal/fleet/ -run 'TestWireSession|TestCreateAPIHardening|TestRetry'
+
+# Static analysis beyond vet. The external analyzers are optional
+# locally (skipped with a note when not installed); CI installs both.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "govulncheck not installed; skipping"; fi
 
 # Wire hot-path benchmark harness: reflector throughput (batch vs
 # single-packet), sender pacing-error distribution, and session cost at

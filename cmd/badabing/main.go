@@ -9,6 +9,7 @@
 //	              [-improved] [-packets 3] [-size 600] [-seed S] [-id ID]
 //	badabing collect -listen :8790 [-alpha 0.1] [-tau 30ms] [-every 10s]
 //	badabing measure -target HOST:PORT [-p 0.3] [-n 60000] [-slot 5ms] [-seed S]
+//	                  [-estimator basic|improved|parametric|bootstrap]
 //	badabing reflect -listen :8790
 //
 // The collector re-derives each session's probe schedule from parameters
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"badabing/internal/badabing"
+	"badabing/internal/estimate"
 	"badabing/internal/session"
 	"badabing/internal/session/wiretransport"
 	"badabing/internal/wire"
@@ -169,9 +171,14 @@ func runMeasure(args []string) error {
 	id := fs.Uint64("id", uint64(time.Now().Unix()), "session id")
 	step := fs.Int64("step", 1000, "harvest cadence in slots")
 	window := fs.Int64("window", 0, "streaming window span in slots (0 = whole session)")
+	estKind := fs.String("estimator", estimate.DefaultKind,
+		"streaming estimator kind: "+estimate.KindList())
 	fs.Parse(args)
 	if *target == "" {
 		return fmt.Errorf("missing -target")
+	}
+	if _, err := estimate.Normalize(*estKind); err != nil {
+		return err
 	}
 	if *seed == 0 {
 		*seed = time.Now().UnixNano()
@@ -193,21 +200,27 @@ func runMeasure(args []string) error {
 	res, err := session.Run(ctx, tr, session.Config{
 		P: *p, Slots: *n, Slot: *slot, Improved: *improved, Seed: *seed,
 		StepSlots: *step, WindowSlots: *window,
+		Estimator: estimate.Config{Kind: *estKind},
 	}, func(u session.Update) {
 		est := u.Snapshot.Total
 		fmt.Printf("  %6d/%d slots  F̂=%.5f", u.SlotsDone, *n, est.Frequency)
+		printCI(u.Snapshot.FrequencyCI)
 		if est.HasDuration {
 			fmt.Printf("  D̂=%.4fs", est.Duration)
+			printCI(u.Snapshot.DurationCI)
 		}
 		fmt.Printf("  (%s)\n", u.Counters)
 	})
 	if err != nil {
 		return err
 	}
-	est := res.Final.Snapshot.Total
-	fmt.Printf("done: %d probes, frequency %.5f", res.Probes, est.Frequency)
+	final := res.Final.Snapshot
+	est := final.Total
+	fmt.Printf("done (%s): %d probes, frequency %.5f", final.Kind, res.Probes, est.Frequency)
+	printCI(final.FrequencyCI)
 	if est.HasDuration {
 		fmt.Printf(", duration %.4fs", est.Duration)
+		printCI(final.DurationCI)
 	}
 	fmt.Println()
 	if lag := tr.SendStats().MaxLag; lag > *slot/2 {
@@ -371,6 +384,14 @@ func reportCI(col *wire.Collector, marker badabing.MarkerConfig) {
 			fmt.Println("  duration:  no episode boundaries observed yet")
 		}
 	}
+}
+
+// printCI renders a bootstrap confidence interval inline, when present.
+func printCI(ci *badabing.Interval) {
+	if ci == nil {
+		return
+	}
+	fmt.Printf(" [%.5f, %.5f]@%v", ci.Lo, ci.Hi, ci.Level)
 }
 
 func fmtNaN(f float64) string {

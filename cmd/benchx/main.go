@@ -56,6 +56,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sessions:  x%-3d wall %.2fs cpu %.0fms/session (%d probes, %d errors)\n",
 			s.Concurrency, s.WallSeconds, s.CPUMsPerSession, s.Probes, s.Errors)
 	}
+	for _, e := range rep.Estimators {
+		fmt.Fprintf(os.Stderr, "estimator: %-10s %.0f ns/observe, %.3f allocs/observe (%d observes)\n",
+			e.Kind, e.NsPerObserve, e.AllocsPerObserve, e.Observes)
+	}
+
+	// The allocation pin is machine-independent, so it gates every run,
+	// baseline or not: the basic and improved estimators' observe path
+	// must stay off the heap (the bootstrap kind retains outcomes by
+	// design and is exempt).
+	for _, e := range rep.Estimators {
+		if (e.Kind == "basic" || e.Kind == "improved") && e.AllocsPerObserve > 0 {
+			fmt.Fprintf(os.Stderr, "benchx: REGRESSION: estimator %s allocates %.3f per observe, want 0\n",
+				e.Kind, e.AllocsPerObserve)
+			os.Exit(2)
+		}
+	}
 
 	if *baseline == "" {
 		return

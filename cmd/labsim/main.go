@@ -8,8 +8,8 @@
 //	labsim -experiment table1 [-horizon 900s] [-seed 1]
 //	labsim -experiment all [-workers 8] [-timeout 10m] [-progress]
 //
-// Experiment ids: table1 table2 table3 table4 table5 table6 table7 table8
-// fig4 fig5 fig6 fig7 fig8 fig9a fig9b, or "all".
+// Run labsim -h for the experiment ids (the list is generated from the
+// experiment registry, so it cannot drift from the code).
 //
 // Every experiment fans its cells (one scenario × parameter × seed
 // combination each) out on a shared parallel experiment engine bounded by
@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"badabing/internal/estimate"
 	"badabing/internal/lab"
 	"badabing/internal/runner"
 )
@@ -54,6 +55,7 @@ var experiments = []struct {
 	{"multihop", func(c lab.RunConfig) fmt.Stringer { return lab.MultiHop(3, c) }},
 	{"red", func(c lab.RunConfig) fmt.Stringer { return lab.RED(c) }},
 	{"adaptivestudy", func(c lab.RunConfig) fmt.Stringer { return lab.AdaptiveStudy(c) }},
+	{"estimators", func(c lab.RunConfig) fmt.Stringer { return lab.EstimatorStudy(estimatorKinds(), c) }},
 	{"ablation-placement", func(c lab.RunConfig) fmt.Stringer { return lab.AblationPlacement(c) }},
 	{"ablation-marking", func(c lab.RunConfig) fmt.Stringer { return lab.AblationMarking(c) }},
 	{"ablation-estimator", func(c lab.RunConfig) fmt.Stringer { return lab.AblationEstimator(c) }},
@@ -65,8 +67,32 @@ var experiments = []struct {
 	}},
 }
 
+// experimentIDs renders the registry for flag help: every valid
+// -experiment value, plus the "all"/"ablations" selectors.
+func experimentIDs() string {
+	ids := make([]string, 0, len(experiments)+2)
+	for _, e := range experiments {
+		ids = append(ids, e.id)
+	}
+	return strings.Join(append(ids, "ablations", "all"), " ")
+}
+
+// estimatorFlag backs -estimator; read after flag.Parse by the
+// "estimators" experiment entry.
+var estimatorFlag *string
+
+// estimatorKinds parses -estimator: empty means every registered kind.
+func estimatorKinds() []string {
+	if estimatorFlag == nil || *estimatorFlag == "" {
+		return nil
+	}
+	return strings.Split(*estimatorFlag, ",")
+}
+
 func main() {
-	exp := flag.String("experiment", "", "experiment id (table1..table8, fig4..fig9b, multihop, red, adaptivestudy, ablation-*, seeds, all)")
+	exp := flag.String("experiment", "", "experiment id: "+experimentIDs())
+	estimatorFlag = flag.String("estimator", "",
+		"estimators experiment: comma-separated kinds to compare (empty = all; valid: "+estimate.KindList()+")")
 	horizon := flag.Duration("horizon", 900*time.Second, "measurement duration per run")
 	seed := flag.Int64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "concurrent experiment cells (0 = one per CPU); results are identical for any value")
@@ -76,6 +102,12 @@ func main() {
 	if *exp == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	for _, kind := range estimatorKinds() {
+		if _, err := estimate.Normalize(kind); err != nil {
+			fmt.Fprintln(os.Stderr, "labsim:", err)
+			os.Exit(2)
+		}
 	}
 
 	// Ctrl-C / SIGTERM stops scheduling new cells and lets the sweep

@@ -86,6 +86,11 @@ func NewAdaptive(cfg AdaptiveConfig) *Adaptive {
 // P returns the current probe probability.
 func (a *Adaptive) P() float64 { return a.p }
 
+// RoundSlots returns the configured round length after defaulting, so
+// round drivers size their sessions from the controller rather than
+// re-implementing the defaulting rule.
+func (a *Adaptive) RoundSlots() int64 { return a.cfg.RoundSlots }
+
 // Round returns how many rounds have completed.
 func (a *Adaptive) Round() int { return a.round }
 
@@ -133,6 +138,27 @@ func (a *Adaptive) EndRound() {
 			a.p = a.cfg.PMax
 		}
 	}
+}
+
+// RunRounds drives the controller to completion over an abstract round
+// executor: each iteration draws the next round's schedule at
+// seed+round, hands it to exec together with the probability it was
+// drawn at, and merges the returned outcome counts through the
+// stopping/escalation rules. It is the one round loop shared by every
+// substrate — the wire sender executes a round as a UDP session and
+// queries the collector's control channel for the counts; the lab
+// executes it on the simulated testbed. exec's error aborts the
+// measurement with rounds already merged still counted.
+func (a *Adaptive) RunRounds(seed int64, exec func(round int, plans []Plan, p float64) (Counts, error)) error {
+	for !a.Done() {
+		plans, p := a.NextRound(seed + int64(a.round))
+		counts, err := exec(a.round, plans, p)
+		if err != nil {
+			return err
+		}
+		a.MergeRound(counts)
+	}
+	return nil
 }
 
 // Report returns the current estimates.

@@ -47,9 +47,10 @@ func (r *Recorder) Add(bits []bool) {
 
 // Interval is a two-sided confidence interval.
 type Interval struct {
-	Lo, Hi float64
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
 	// Level is the nominal coverage, e.g. 0.95.
-	Level float64
+	Level float64 `json:"level"`
 }
 
 // BootstrapConfig controls the resampling.

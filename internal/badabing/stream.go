@@ -132,6 +132,11 @@ type Estimates struct {
 	HasDurationBasic    bool    `json:"has_duration_basic"`
 	DurationImproved    float64 `json:"duration_improved_seconds"`
 	HasDurationImproved bool    `json:"has_duration_improved"`
+	// DurationGeometric is the parametric §8 estimate 1/(1−ĝ) under the
+	// geometric episode model, when extended experiments observed an
+	// episode interior.
+	DurationGeometric    float64 `json:"duration_geometric_seconds"`
+	HasDurationGeometric bool    `json:"has_duration_geometric"`
 	// RHat is r̂ = U/V from extended experiments.
 	RHat    float64 `json:"r_hat"`
 	HasRHat bool    `json:"has_r_hat"`
@@ -157,6 +162,10 @@ func EstimatesOf(a *Accumulator) Estimates {
 		e.HasDurationImproved = true
 		e.Duration = e.DurationImproved
 		e.HasDuration = true
+	}
+	if d, ok := a.DurationSlotsGeometric(); ok {
+		e.DurationGeometric = d * a.slotWidth().Seconds()
+		e.HasDurationGeometric = true
 	}
 	if r, ok := a.RHat(); ok {
 		e.RHat = r

@@ -89,6 +89,9 @@ type Report struct {
 	Reflector ReflectorBench `json:"reflector"`
 	Pacing    PacingBench    `json:"pacing"`
 	Sessions  []SessionBench `json:"sessions"`
+	// Estimators is the streaming estimation stage: observe-path cost
+	// per estimator kind.
+	Estimators []EstimatorBench `json:"estimators,omitempty"`
 }
 
 // ReflectorBench compares echo-loop throughput between the batched
@@ -153,6 +156,9 @@ func RunAll(opts Options) (Report, error) {
 			return rep, fmt.Errorf("session bench x%d: %w", level, err)
 		}
 		rep.Sessions = append(rep.Sessions, sb)
+	}
+	if rep.Estimators, err = RunEstimatorBench(opts); err != nil {
+		return rep, fmt.Errorf("estimator bench: %w", err)
 	}
 	return rep, nil
 }

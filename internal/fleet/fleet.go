@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"badabing/internal/badabing"
+	"badabing/internal/estimate"
 	"badabing/internal/runner"
 	"badabing/internal/session"
 	"badabing/internal/store"
@@ -140,6 +141,11 @@ type SessionConfig struct {
 	ExtendedFraction *float64 `json:"extended_fraction,omitempty"`
 	// ExtendedPairs enables the §5.5 pair-counting modification.
 	ExtendedPairs bool `json:"extended_pairs,omitempty"`
+	// Estimator selects and parameterizes the streaming estimator
+	// (kind: basic, improved, parametric or bootstrap, plus bootstrap
+	// tuning). Omitted selects the improved estimator. Unknown kinds and
+	// out-of-range settings are rejected at create time (HTTP 400).
+	Estimator *estimate.Config `json:"estimator,omitempty"`
 	// Seed fixes all randomness; 0 derives a stable seed from the
 	// session id via the runner's descriptor hash.
 	Seed int64 `json:"seed,omitempty"`
@@ -207,9 +213,31 @@ func (c *SessionConfig) scheduleConfig(seed int64) badabing.ScheduleConfig {
 	}
 }
 
+// estimatorConfig resolves the estimator selection; nil (the spec
+// omitted it) means the zero config, i.e. the default improved kind.
+func (c *SessionConfig) estimatorConfig() estimate.Config {
+	if c.Estimator == nil {
+		return estimate.Config{}
+	}
+	return *c.Estimator
+}
+
+// EstimatorKind returns the canonical name of the estimator the session
+// runs with (after defaulting).
+func (c *SessionConfig) EstimatorKind() string {
+	kind, err := estimate.Normalize(c.estimatorConfig().Kind)
+	if err != nil {
+		return c.Estimator.Kind
+	}
+	return kind
+}
+
 // Validate rejects configurations the daemon must not crash on.
 func (c *SessionConfig) Validate() error {
 	if err := c.scheduleConfig(1).Validate(); err != nil {
+		return err
+	}
+	if err := c.estimatorConfig().Validate(); err != nil {
 		return err
 	}
 	if c.SlotMicros < 0 {
@@ -391,6 +419,7 @@ func (r *Registry) Create(cfg SessionConfig) (*Session, error) {
 		cancel:  cancel,
 		created: time.Now(),
 	}
+	s.snap.Kind = cfg.EstimatorKind()
 	s.snap.LastSlot = -1
 	r.sessions[id] = s
 	r.order = append(r.order, id)
@@ -683,7 +712,7 @@ type Session struct {
 	retries   int
 	recovered bool
 
-	snap      badabing.StreamSnapshot
+	snap      estimate.Snapshot
 	slotsDone int64
 	counters  SessionCounters
 
@@ -724,7 +753,7 @@ func (s *Session) Err() error {
 
 // Snapshot returns the latest published estimator snapshot. Snapshots
 // appear mid-run, at every harvest step.
-func (s *Session) Snapshot() badabing.StreamSnapshot {
+func (s *Session) Snapshot() estimate.Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.snap
@@ -814,7 +843,7 @@ func (s *Session) beginRetry() {
 	s.state = Pending
 	s.started = time.Time{}
 	s.err = nil
-	s.snap = badabing.StreamSnapshot{}
+	s.snap = estimate.Snapshot{Kind: s.cfg.EstimatorKind()}
 	s.snap.LastSlot = -1
 	s.slotsDone = 0
 	s.counters = SessionCounters{}
@@ -824,7 +853,7 @@ func (s *Session) beginRetry() {
 // publish stores a new snapshot and counter set, accumulating the deltas
 // into the registry's lifetime totals and appending one point to the
 // session's persisted estimate series.
-func (s *Session) publish(snap badabing.StreamSnapshot, slotsDone int64, c SessionCounters) {
+func (s *Session) publish(snap estimate.Snapshot, slotsDone int64, c SessionCounters) {
 	s.mu.Lock()
 	prev := s.counters
 	s.snap = snap
@@ -841,7 +870,7 @@ func (s *Session) publish(snap badabing.StreamSnapshot, slotsDone int64, c Sessi
 		t.writeFailures.Add(d)
 	}
 	if st := s.reg.store; st != nil {
-		st.SessionPoint(s.ID, store.Point{
+		pt := store.Point{
 			At:          time.Now().UnixNano(),
 			SlotsDone:   slotsDone,
 			M:           int64(snap.Total.M),
@@ -853,27 +882,38 @@ func (s *Session) publish(snap badabing.StreamSnapshot, slotsDone int64, c Sessi
 			PacketsSent: c.PacketsSent,
 			PacketsLost: c.PacketsLost,
 			Experiments: c.Experiments,
-		})
+		}
+		if ci := snap.FrequencyCI; ci != nil {
+			pt.FreqLo, pt.FreqHi = ci.Lo, ci.Hi
+			pt.HasFreqCI = true
+			pt.CILevel = ci.Level
+		}
+		if ci := snap.DurationCI; ci != nil {
+			pt.DurLo, pt.DurHi = ci.Lo, ci.Hi
+			pt.HasDurCI = true
+			pt.CILevel = ci.Level
+		}
+		st.SessionPoint(s.ID, pt)
 		st.RegistryTotals(s.reg.storeTotals())
 	}
 }
 
 // View is the JSON shape of a session in the HTTP API.
 type View struct {
-	ID        string                  `json:"id"`
-	Name      string                  `json:"name"`
-	State     State                   `json:"state"`
-	Error     string                  `json:"error,omitempty"`
-	Config    SessionConfig           `json:"config"`
-	Seed      int64                   `json:"seed"`
-	Created   time.Time               `json:"created"`
-	Started   *time.Time              `json:"started,omitempty"`
-	Finished  *time.Time              `json:"finished,omitempty"`
-	SlotsDone int64                   `json:"slots_done"`
-	Retries   int                     `json:"retries,omitempty"`
-	Recovered bool                    `json:"recovered,omitempty"`
-	Counters  SessionCounters         `json:"counters"`
-	Snapshot  badabing.StreamSnapshot `json:"snapshot"`
+	ID        string            `json:"id"`
+	Name      string            `json:"name"`
+	State     State             `json:"state"`
+	Error     string            `json:"error,omitempty"`
+	Config    SessionConfig     `json:"config"`
+	Seed      int64             `json:"seed"`
+	Created   time.Time         `json:"created"`
+	Started   *time.Time        `json:"started,omitempty"`
+	Finished  *time.Time        `json:"finished,omitempty"`
+	SlotsDone int64             `json:"slots_done"`
+	Retries   int               `json:"retries,omitempty"`
+	Recovered bool              `json:"recovered,omitempty"`
+	Counters  SessionCounters   `json:"counters"`
+	Snapshot  estimate.Snapshot `json:"snapshot"`
 }
 
 // View snapshots the session for the API.

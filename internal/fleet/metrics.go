@@ -35,7 +35,8 @@ func WriteMetrics(w io.Writer, r *Registry) {
 	counter(w, "badabingd_session_retries_total", "Failed sessions re-queued by the retry policy.", float64(t.SessionRetries))
 	counter(w, "badabingd_wire_write_failures_total", "Probe-socket write errors across wire sessions.", float64(t.WriteFailures))
 
-	var freq, dur, m []sample
+	var freq, dur, m, kind []sample
+	var freqLo, freqHi, durLo, durHi []sample
 	for _, s := range r.List() {
 		snap := s.Snapshot()
 		labels := lbl("session", s.ID)
@@ -44,10 +45,24 @@ func WriteMetrics(w io.Writer, r *Registry) {
 			dur = append(dur, sample{labels: labels, value: snap.Total.Duration})
 		}
 		m = append(m, sample{labels: labels, value: float64(snap.Total.M)})
+		kind = append(kind, sample{labels: lbl2("session", s.ID, "kind", snap.Kind), value: 1})
+		if ci := snap.FrequencyCI; ci != nil {
+			freqLo = append(freqLo, sample{labels: labels, value: ci.Lo})
+			freqHi = append(freqHi, sample{labels: labels, value: ci.Hi})
+		}
+		if ci := snap.DurationCI; ci != nil {
+			durLo = append(durLo, sample{labels: labels, value: ci.Lo})
+			durHi = append(durHi, sample{labels: labels, value: ci.Hi})
+		}
 	}
 	gauge(w, "badabingd_session_loss_frequency", "Per-session loss-episode frequency estimate F̂.", freq...)
+	gauge(w, "badabingd_session_loss_frequency_ci_lo", "Lower bootstrap confidence bound on F̂.", freqLo...)
+	gauge(w, "badabingd_session_loss_frequency_ci_hi", "Upper bootstrap confidence bound on F̂.", freqHi...)
 	gauge(w, "badabingd_session_loss_duration_seconds", "Per-session mean loss-episode duration estimate D̂.", dur...)
+	gauge(w, "badabingd_session_loss_duration_ci_lo_seconds", "Lower bootstrap confidence bound on D̂.", durLo...)
+	gauge(w, "badabingd_session_loss_duration_ci_hi_seconds", "Upper bootstrap confidence bound on D̂.", durHi...)
 	gauge(w, "badabingd_session_experiments", "Per-session experiments observed.", m...)
+	gauge(w, "badabingd_session_estimator", "Estimator kind per session (info metric, value always 1).", kind...)
 }
 
 type sample struct {
@@ -59,6 +74,11 @@ type sample struct {
 // format's escapes: backslash, double quote and newline.
 func lbl(k, v string) string {
 	return fmt.Sprintf(`{%s=%q}`, k, v)
+}
+
+// lbl2 renders a two-label set (the info-metric shape).
+func lbl2(k1, v1, k2, v2 string) string {
+	return fmt.Sprintf(`{%s=%q,%s=%q}`, k1, v1, k2, v2)
 }
 
 func family(w io.Writer, name, kind, help string, samples []sample) {

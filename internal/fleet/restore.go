@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"badabing/internal/badabing"
+	"badabing/internal/estimate"
 	"badabing/internal/store"
 )
 
@@ -124,9 +125,10 @@ func (r *Registry) restoreSession(rec store.Session) restoreOutcome {
 		recovered: true,
 		started:   rec.Started,
 	}
+	s.snap.Kind = cfg.EstimatorKind()
 	s.snap.LastSlot = -1
 	if rec.Points > 0 {
-		s.snap = snapshotOfPoint(rec.LastPoint)
+		s.snap = snapshotOfPoint(cfg.EstimatorKind(), rec.LastPoint)
 		s.slotsDone = rec.LastPoint.SlotsDone
 		s.counters = countersOfPoint(rec.LastPoint)
 	}
@@ -184,19 +186,26 @@ func (r *Registry) restoreSession(rec store.Session) restoreOutcome {
 }
 
 // snapshotOfPoint rebuilds the live-view snapshot from the last
-// persisted point (total estimates only: the window has aged out).
-func snapshotOfPoint(p store.Point) badabing.StreamSnapshot {
+// persisted point (total estimates only: the window has aged out),
+// including any persisted bootstrap confidence bounds.
+func snapshotOfPoint(kind string, p store.Point) estimate.Snapshot {
 	est := badabing.Estimates{
 		M:           int(p.M),
 		Frequency:   p.Frequency,
 		Duration:    p.Duration,
 		HasDuration: p.HasDuration,
 	}
-	return badabing.StreamSnapshot{
-		Total:    est,
-		Window:   est,
-		LastSlot: -1,
+	snap := estimate.Snapshot{Kind: kind}
+	snap.Total = est
+	snap.Window = est
+	snap.LastSlot = -1
+	if p.HasFreqCI {
+		snap.FrequencyCI = &badabing.Interval{Lo: p.FreqLo, Hi: p.FreqHi, Level: p.CILevel}
 	}
+	if p.HasDurCI {
+		snap.DurationCI = &badabing.Interval{Lo: p.DurLo, Hi: p.DurHi, Level: p.CILevel}
+	}
+	return snap
 }
 
 func countersOfPoint(p store.Point) SessionCounters {

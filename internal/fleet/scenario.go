@@ -109,6 +109,7 @@ func runSession(ctx context.Context, s *Session, seed int64) error {
 		Improved:         !cfg.Basic,
 		ExtendedFraction: cfg.ExtendedFraction,
 		ExtendedPairs:    cfg.ExtendedPairs,
+		Estimator:        cfg.estimatorConfig(),
 		Seed:             seed,
 		WindowSlots:      cfg.WindowSlots,
 		StepSlots:        cfg.StepSlots,

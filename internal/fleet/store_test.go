@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"badabing/internal/badabing"
+	"badabing/internal/estimate"
 	"badabing/internal/store"
 )
 
@@ -16,10 +17,10 @@ func TestRegistryEmitsStoreEvents(t *testing.T) {
 	mem := store.NewMem()
 	reg := NewRegistry(Config{MaxConcurrent: 1, Store: mem})
 	reg.runOverride = func(ctx context.Context, s *Session, seed int64) error {
-		s.publish(badabing.StreamSnapshot{
-			Total:    badabing.Estimates{M: 10, Frequency: 0.25},
-			LastSlot: 99,
-		}, 100, SessionCounters{ProbesSent: 10, ProbesLost: 2, PacketsSent: 30, PacketsLost: 5, Experiments: 10})
+		snap := estimate.Snapshot{Kind: estimate.DefaultKind}
+		snap.Total = badabing.Estimates{M: 10, Frequency: 0.25}
+		snap.LastSlot = 99
+		s.publish(snap, 100, SessionCounters{ProbesSent: 10, ProbesLost: 2, PacketsSent: 30, PacketsLost: 5, Experiments: 10})
 		return nil
 	}
 	s, err := reg.Create(SessionConfig{Scenario: "idle", Slots: 2000})
@@ -73,10 +74,10 @@ func TestDrainStoreOrdering(t *testing.T) {
 		// ...but we ignore it for a while, publishing the whole time —
 		// exactly the window the old Drain bug closed the store in.
 		for i := 0; i < 20; i++ {
-			s.publish(badabing.StreamSnapshot{
-				Total:    badabing.Estimates{M: i + 1},
-				LastSlot: int64(i),
-			}, int64(i), SessionCounters{Experiments: int64(i) + 1})
+			var snap estimate.Snapshot
+			snap.Total = badabing.Estimates{M: i + 1}
+			snap.LastSlot = int64(i)
+			s.publish(snap, int64(i), SessionCounters{Experiments: int64(i) + 1})
 			time.Sleep(5 * time.Millisecond)
 		}
 		close(release)

@@ -121,26 +121,24 @@ func runAdaptiveStrategy(path adaptivePath, strat string, cfg RunConfig) Adaptiv
 		// round's earliest slot.
 		const drainSlots = 300 // 1.5 s at 5 ms
 		cursor := int64(0)
-		seed := cfg.Seed + 500
-		for !ctrl.Done() {
-			plans, p := ctrl.NextRound(seed)
+		base := cfg.Seed + 500
+		_ = ctrl.RunRounds(base, func(round int, plans []badabing.Plan, p float64) (badabing.Counts, error) {
 			shifted := make([]badabing.Plan, len(plans))
 			for i, pl := range plans {
 				shifted[i] = badabing.Plan{Slot: cursor + pl.Slot, Probes: pl.Probes}
 			}
-			bb := probe.StartBadabing(sim, d, probeFlowID+uint64(seed), probe.BadabingConfig{
+			bb := probe.StartBadabing(sim, d, probeFlowID+uint64(base+int64(round)), probe.BadabingConfig{
 				Plans:  shifted,
 				Marker: badabing.RecommendedMarker(p, slot),
 			})
-			seed++
 			cursor += studyRoundSlots
 			sim.Run(time.Duration(cursor) * slot) // round ends
 			cursor += drainSlots
 			sim.Run(time.Duration(cursor) * slot) // in-flight probes land
 			sent, _ := bb.PacketCounts()
 			row.Packets += sent
-			ctrl.MergeRound(bb.Counts())
-		}
+			return bb.Counts(), nil
+		})
 		row.Converged = ctrl.Converged()
 		row.FinalP = ctrl.P()
 		row.EstF = ctrl.Report().Frequency

@@ -1,0 +1,115 @@
+package lab
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"badabing/internal/badabing"
+	"badabing/internal/estimate"
+	"badabing/internal/probe"
+	"badabing/internal/session"
+	"badabing/internal/session/simtransport"
+)
+
+// EstimatorStudy runs the same CBR workload through every estimator kind
+// of the pluggable pipeline (internal/estimate), side by side: one
+// streaming session per kind over the transport-neutral engine, against
+// one ground truth. The table shows what the estimator choice changes —
+// the headline duration estimator and, for the bootstrap kind, interval
+// bounds — and what it cannot change: F̂ and the experiment count come
+// from the same accumulator arithmetic in every row.
+type EstimatorStudyRow struct {
+	Kind  string
+	M     int
+	EstF  float64
+	TrueF float64
+	// EstD is the kind's headline duration estimate, when defined.
+	EstD    float64
+	HasD    bool
+	TrueD   float64
+	FreqLo  float64
+	FreqHi  float64
+	HasCI   bool
+	CILevel float64
+}
+
+// EstimatorStudyResult renders the comparison.
+type EstimatorStudyResult struct {
+	Rows []EstimatorStudyRow
+}
+
+func (r EstimatorStudyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Pluggable estimators: one workload, every kind")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "estimator\tm\test freq\ttrue freq\test dur\ttrue dur\tfreq CI")
+	for _, row := range r.Rows {
+		dur := "—"
+		if row.HasD {
+			dur = fmt.Sprintf("%.4fs", row.EstD)
+		}
+		ci := "—"
+		if row.HasCI {
+			ci = fmt.Sprintf("[%.4f, %.4f]@%v", row.FreqLo, row.FreqHi, row.CILevel)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.4f\t%.4f\t%s\t%.4fs\t%s\n",
+			row.Kind, row.M, row.EstF, row.TrueF, dur, row.TrueD, ci)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// EstimatorStudy runs the comparison. kinds empty selects every
+// registered kind.
+func EstimatorStudy(kinds []string, cfg RunConfig) EstimatorStudyResult {
+	cfg.applyDefaults()
+	if len(kinds) == 0 {
+		kinds = estimate.Kinds()
+	}
+	var cells []cell[EstimatorStudyRow]
+	for _, kind := range kinds {
+		kind := kind
+		cells = append(cells, cell[EstimatorStudyRow]{
+			key: fmt.Sprintf("estimators/%s/seed=%d/h=%v", kind, cfg.Seed, cfg.Horizon),
+			run: func() EstimatorStudyRow { return runEstimatorKind(kind, cfg) },
+		})
+	}
+	return EstimatorStudyResult{Rows: runCells(cfg, cells)}
+}
+
+// runEstimatorKind measures one CBR path with one estimator kind through
+// the full streaming session engine (the same code path fleet sessions
+// run), then reads ground truth off the bottleneck monitor.
+func runEstimatorKind(kind string, cfg RunConfig) EstimatorStudyRow {
+	slot := badabing.DefaultSlot
+	path := NewPath(CBRUniform, cfg)
+	tr := simtransport.New(path.Sim, path.D, probeFlowID, probe.BadabingConfig{Slot: slot})
+	defer tr.Close()
+
+	res, err := session.Run(context.Background(), tr, session.Config{
+		P:         0.3,
+		Slots:     int64(cfg.Horizon / slot),
+		Slot:      slot,
+		Improved:  true,
+		Seed:      cfg.Seed + 900,
+		Estimator: estimate.Config{Kind: kind},
+	}, nil)
+	row := EstimatorStudyRow{Kind: kind}
+	if err != nil {
+		return row
+	}
+	snap := res.Final.Snapshot
+	row.M = snap.Total.M
+	row.EstF = snap.Total.Frequency
+	row.EstD, row.HasD = snap.Total.Duration, snap.Total.HasDuration
+	if ci := snap.FrequencyCI; ci != nil {
+		row.FreqLo, row.FreqHi, row.CILevel = ci.Lo, ci.Hi, ci.Level
+		row.HasCI = true
+	}
+	truth := path.Mon.Truth(cfg.Horizon, slot)
+	row.TrueF = truth.Frequency
+	row.TrueD = truth.Duration.Mean()
+	return row
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"badabing/internal/badabing"
+	"badabing/internal/estimate"
 )
 
 // ErrPathDead reports that a transport decided the far end of the path is
@@ -94,6 +95,10 @@ type Config struct {
 	// Marker holds the α/τ congestion-marking parameters. A zero value
 	// selects RecommendedMarker(P, Slot).
 	Marker badabing.MarkerConfig
+	// Estimator selects the streaming estimator the session feeds (the
+	// zero value is the improved estimator). Both transports consume the
+	// same estimator: the selection is estimation policy, not substrate.
+	Estimator estimate.Config
 	// WindowSlots is the streaming estimator's sliding-window span; zero
 	// disables windowing.
 	WindowSlots int64
@@ -123,6 +128,16 @@ func (c *Config) applyDefaults() {
 	}
 }
 
+// estimatorParams shapes the estimator from the session's probe-process
+// parameters.
+func (c *Config) estimatorParams() estimate.Params {
+	return estimate.Params{
+		Slot:          c.Slot,
+		WindowSlots:   c.WindowSlots,
+		ExtendedPairs: c.ExtendedPairs,
+	}
+}
+
 // schedule draws the session's experiment plan.
 func (c *Config) schedule() ([]badabing.Plan, error) {
 	return badabing.Schedule(badabing.ScheduleConfig{
@@ -147,7 +162,7 @@ type Counters struct {
 // Update is one published harvest step: the estimator snapshot, progress
 // through the horizon and the tallies backing it.
 type Update struct {
-	Snapshot  badabing.StreamSnapshot
+	Snapshot  estimate.Snapshot
 	SlotsDone int64
 	Counters  Counters
 }
@@ -183,11 +198,7 @@ func Run(ctx context.Context, tr Transport, cfg Config, publish func(Update)) (*
 		return nil, err
 	}
 	slots := badabing.ProbeSlots(plans)
-	stream, err := badabing.NewStream(badabing.StreamConfig{
-		Slot:          cfg.Slot,
-		WindowSlots:   cfg.WindowSlots,
-		ExtendedPairs: cfg.ExtendedPairs,
-	})
+	est, err := estimate.New(cfg.Estimator, cfg.estimatorParams())
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +206,7 @@ func Run(ctx context.Context, tr Transport, cfg Config, publish func(Update)) (*
 		return nil, err
 	}
 
-	h := &harvester{cfg: &cfg, plans: plans, stream: stream, publish: publish}
+	h := &harvester{cfg: &cfg, plans: plans, est: est, publish: publish}
 	res := &Result{Plans: plans, Probes: len(slots)}
 	horizon := time.Duration(cfg.Slots) * cfg.Slot
 	step := time.Duration(cfg.StepSlots) * cfg.Slot
@@ -243,7 +254,7 @@ func Run(ctx context.Context, tr Transport, cfg Config, publish func(Update)) (*
 type harvester struct {
 	cfg     *Config
 	plans   []badabing.Plan
-	stream  *badabing.Stream
+	est     estimate.Estimator
 	publish func(Update)
 	fed     int // plans[:fed] have been fed to the stream
 	skip    int64
@@ -283,11 +294,7 @@ func (h *harvester) harvest(tr Transport, now time.Duration, end bool) {
 	if end {
 		// Final pass: re-mark everything and rebuild, discarding the
 		// provisional mid-run marks.
-		h.stream, _ = badabing.NewStream(badabing.StreamConfig{
-			Slot:          h.cfg.Slot,
-			WindowSlots:   h.cfg.WindowSlots,
-			ExtendedPairs: h.cfg.ExtendedPairs,
-		})
+		h.est.Reset()
 		h.fed = 0
 		h.skip = 0
 	}
@@ -314,20 +321,20 @@ func (h *harvester) harvest(tr Transport, now time.Duration, end bool) {
 			bits = append(bits, b)
 		}
 		if ok {
-			h.stream.Observe(pl.Slot, bits)
+			h.est.Observe(pl.Slot, bits)
 		} else {
 			h.skip++
 		}
 		h.fed++
 	}
-	c.Experiments = int64(h.stream.M())
+	c.Experiments = int64(h.est.M())
 	c.Skipped = h.skip
 
 	slotsDone := int64(now / h.cfg.Slot)
 	if slotsDone > h.cfg.Slots {
 		slotsDone = h.cfg.Slots
 	}
-	h.last = Update{Snapshot: h.stream.Snapshot(), SlotsDone: slotsDone, Counters: c}
+	h.last = Update{Snapshot: h.est.Snapshot(), SlotsDone: slotsDone, Counters: c}
 	h.marked = bySlot
 	if h.publish != nil {
 		h.publish(h.last)
@@ -352,14 +359,30 @@ func MarkSlots(obs []badabing.ProbeObs, invalid map[int64]bool, cfg badabing.Mar
 	return bySlot
 }
 
-// BatchEstimates assembles marked outcomes for a schedule straight into a
-// fresh accumulator and returns its estimates plus the number of skipped
-// experiments — the batch twin of a session's streaming feed, used to
-// cross-check final snapshots.
+// BatchEstimates assembles marked outcomes for a schedule and returns
+// the default (improved) estimator's batch estimates plus the number of
+// skipped experiments — the batch twin of a session's streaming feed,
+// used to cross-check final snapshots. It is a thin replay over the
+// pluggable estimator core; BatchSnapshot is the kind-aware form.
 func BatchEstimates(plans []badabing.Plan, bySlot map[int64]bool, slot time.Duration, extendedPairs bool) (badabing.Estimates, int) {
-	acc := &badabing.Accumulator{Slot: slot, ExtendedPairs: extendedPairs}
-	skipped := badabing.Assemble(acc, plans, bySlot)
-	return badabing.EstimatesOf(acc), skipped
+	snap, skipped, err := BatchSnapshot(estimate.Config{}, plans, bySlot, slot, extendedPairs)
+	if err != nil {
+		// The zero estimator config is statically valid.
+		panic(err)
+	}
+	return snap.Total, skipped
+}
+
+// BatchSnapshot replays marked outcomes for a schedule through a fresh
+// estimator of cfg's kind — the batch pipeline for any estimator kind,
+// Float64bits-identical to the final snapshot of a session that ran the
+// same schedule, marks and estimator.
+func BatchSnapshot(cfg estimate.Config, plans []badabing.Plan, bySlot map[int64]bool, slot time.Duration, extendedPairs bool) (estimate.Snapshot, int, error) {
+	snap, skipped, err := estimate.Batch(cfg, estimate.Params{Slot: slot, ExtendedPairs: extendedPairs}, plans, bySlot)
+	if err != nil {
+		return estimate.Snapshot{}, 0, err
+	}
+	return snap, skipped, nil
 }
 
 // String implements a compact one-line rendering of counters for logs.

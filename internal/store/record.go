@@ -38,7 +38,7 @@ const (
 
 // segMagic opens every segment file. The trailing byte versions the
 // record format; bump it on incompatible changes.
-var segMagic = [8]byte{'B', 'B', 'W', 'A', 'L', 0, 1, '\n'}
+var segMagic = [8]byte{'B', 'B', 'W', 'A', 'L', 0, 2, '\n'}
 
 // maxRecord bounds a single record payload. Anything larger in a length
 // field is corruption, not data: the biggest legitimate record is a
@@ -76,6 +76,16 @@ type Point struct {
 	PacketsSent int64 `json:"packets_sent"`
 	PacketsLost int64 `json:"packets_lost"`
 	Experiments int64 `json:"experiments"`
+	// Bootstrap confidence bounds over the frequency and duration
+	// estimates, present when the session runs the bootstrap estimator.
+	// CILevel is the shared nominal coverage (e.g. 0.95).
+	FreqLo    float64 `json:"freq_ci_lo,omitempty"`
+	FreqHi    float64 `json:"freq_ci_hi,omitempty"`
+	HasFreqCI bool    `json:"has_freq_ci,omitempty"`
+	DurLo     float64 `json:"dur_ci_lo,omitempty"`
+	DurHi     float64 `json:"dur_ci_hi,omitempty"`
+	HasDurCI  bool    `json:"has_dur_ci,omitempty"`
+	CILevel   float64 `json:"ci_level,omitempty"`
 }
 
 // LossRate is the packet loss rate at this point (0 before any packet).
@@ -86,8 +96,9 @@ func (p Point) LossRate() float64 {
 	return float64(p.PacketsLost) / float64(p.PacketsSent)
 }
 
-// pointWidth is Point's fixed encoding: ten 8-byte fields + 1 flag byte.
-const pointWidth = 10*8 + 1
+// pointWidth is Point's fixed encoding: fifteen 8-byte fields + 1 flag
+// byte.
+const pointWidth = 15*8 + 1
 
 // Totals are the registry's lifetime aggregate counters, persisted so
 // daemon totals stay monotone across restarts.
@@ -161,12 +172,23 @@ func appendPoint(dst []byte, p Point) []byte {
 	if p.HasDuration {
 		flags |= 1
 	}
+	if p.HasFreqCI {
+		flags |= 2
+	}
+	if p.HasDurCI {
+		flags |= 4
+	}
 	dst = append(dst, flags)
 	dst = appendI64(dst, p.ProbesSent)
 	dst = appendI64(dst, p.ProbesLost)
 	dst = appendI64(dst, p.PacketsSent)
 	dst = appendI64(dst, p.PacketsLost)
-	return appendI64(dst, p.Experiments)
+	dst = appendI64(dst, p.Experiments)
+	dst = appendF64(dst, p.FreqLo)
+	dst = appendF64(dst, p.FreqHi)
+	dst = appendF64(dst, p.DurLo)
+	dst = appendF64(dst, p.DurHi)
+	return appendF64(dst, p.CILevel)
 }
 
 func appendTotals(dst []byte, t Totals) []byte {
@@ -267,11 +289,18 @@ func (r *reader) point() Point {
 	}
 	flags := r.byte()
 	p.HasDuration = flags&1 != 0
+	p.HasFreqCI = flags&2 != 0
+	p.HasDurCI = flags&4 != 0
 	p.ProbesSent = r.i64()
 	p.ProbesLost = r.i64()
 	p.PacketsSent = r.i64()
 	p.PacketsLost = r.i64()
 	p.Experiments = r.i64()
+	p.FreqLo = r.f64()
+	p.FreqHi = r.f64()
+	p.DurLo = r.f64()
+	p.DurHi = r.f64()
+	p.CILevel = r.f64()
 	return p
 }
 

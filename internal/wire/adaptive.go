@@ -69,16 +69,14 @@ func SendAdaptive(ctx context.Context, conn net.Conn, cfg AdaptiveConfig) (Adapt
 	cfg.applyDefaults()
 	ctrl := badabing.NewAdaptive(cfg.Controller)
 	var res AdaptiveResult
-	round := 0
-	for !ctrl.Done() {
+	err := ctrl.RunRounds(cfg.Seed, func(round int, _ []badabing.Plan, p float64) (badabing.Counts, error) {
 		if err := ctx.Err(); err != nil {
-			return res, err
+			return badabing.Counts{}, err
 		}
-		_, p := ctrl.NextRound(cfg.Seed + int64(round))
 		st, err := Send(ctx, conn, SenderConfig{
 			ExpID:           cfg.BaseID + uint64(round),
 			P:               p,
-			N:               roundSlots(cfg.Controller),
+			N:               ctrl.RoundSlots(),
 			Slot:            cfg.Slot,
 			Improved:        true,
 			Seed:            cfg.Seed + int64(round),
@@ -86,37 +84,30 @@ func SendAdaptive(ctx context.Context, conn net.Conn, cfg AdaptiveConfig) (Adapt
 			PacketSize:      cfg.PacketSize,
 		})
 		if err != nil {
-			return res, fmt.Errorf("wire: adaptive round %d: %w", round, err)
+			return badabing.Counts{}, fmt.Errorf("wire: adaptive round %d: %w", round, err)
 		}
 		res.Packets += st.Packets
 
 		select {
 		case <-ctx.Done():
-			return res, ctx.Err()
+			return badabing.Counts{}, ctx.Err()
 		case <-time.After(cfg.DrainWait):
 		}
 
 		counts, err := queryWithRetry(ctx, conn, cfg.BaseID+uint64(round), cfg)
 		if err != nil {
-			return res, fmt.Errorf("wire: adaptive round %d: %w", round, err)
+			return badabing.Counts{}, fmt.Errorf("wire: adaptive round %d: %w", round, err)
 		}
-		ctrl.MergeRound(counts)
-		round++
+		return counts, nil
+	})
+	if err != nil {
+		return res, err
 	}
 	res.Report = ctrl.Report()
 	res.Rounds = ctrl.Round()
 	res.FinalP = ctrl.P()
 	res.Converged = ctrl.Converged()
 	return res, nil
-}
-
-// roundSlots resolves the controller's round length, honoring its
-// defaulting rule.
-func roundSlots(c badabing.AdaptiveConfig) int64 {
-	if c.RoundSlots > 0 {
-		return c.RoundSlots
-	}
-	return 6000
 }
 
 // queryWithRetry tolerates control packets lost on the measured path.
