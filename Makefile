@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check chaos lint bench bench-smoke bench-paper bench-full fuzz experiments clean
+.PHONY: all build vet test race check chaos soak lint bench bench-smoke bench-paper bench-full fuzz experiments clean
 
 all: build vet test
 
@@ -17,13 +17,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/wire/... ./internal/session/... ./internal/fleet/... ./internal/store/... ./cmd/badabingd/... .
+	$(GO) test -race ./internal/runner/... ./internal/wire/... ./internal/session/... ./internal/fleet/... ./internal/store/... ./internal/health/... ./cmd/badabingd/... .
 
 # Fast pre-push gate: static checks plus the race-sensitive packages.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race -short ./internal/fleet/... ./internal/session/... ./internal/wire/... ./internal/runner/... ./internal/store/...
+	$(GO) test -race -short ./internal/fleet/... ./internal/session/... ./internal/wire/... ./internal/runner/... ./internal/store/... ./internal/health/...
 
 # Fault-injection matrix under the race detector: every impairment class
 # (drop, duplicate, reorder, delay, truncate, corrupt, bursts) against a
@@ -34,6 +34,15 @@ chaos:
 		-run 'TestImpaired|TestBatchFallbackParity|TestHung|TestKilled|TestHandshake|TestFlaky'
 	$(GO) test -race -count=1 ./internal/session/wiretransport/... ./cmd/badabingd/...
 	$(GO) test -race -count=1 ./internal/fleet/ -run 'TestWireSession|TestCreateAPIHardening|TestRetry'
+
+# Supervised self-healing soak: N live wire sessions while the harness
+# kills the archive disk (FaultySink windows) and bounces reflectors
+# mid-run, under the race detector. Asserts the full recovery story:
+# breaker trips, health walks ok→degraded→ok, every spilled event
+# replays, no goroutine/fd leak. `-short` runs a reduced matrix in CI.
+soak:
+	$(GO) test -race -count=1 -v ./internal/chaos/ -run TestSoakSelfHealing
+	$(GO) test -race -count=1 ./internal/fleet/ -run 'TestBreaker|TestKillTheDisk|TestAdmission|TestReadyz|TestRetryAfter'
 
 # Static analysis beyond vet. The external analyzers are optional
 # locally (skipped with a note when not installed); CI installs both.

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"badabing/internal/fleet"
+	"badabing/internal/health"
 	"badabing/internal/store"
 	"badabing/internal/wire"
 )
@@ -58,20 +59,41 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	fsyncInterval := fs.Duration("fsync-interval", 100*time.Millisecond, "batch-fsync cadence under -fsync interval")
 	segmentBytes := fs.Int64("segment-bytes", 4<<20, "WAL segment rotation size")
 	retention := fs.Duration("retention", 0, "drop archived history older than this (0 = keep forever)")
+	maxPending := fs.Int("max-pending", 0, "shed session creates (503) once this many sessions queue pending (0 = unbounded)")
+	createRate := fs.Float64("create-rate", 0, "per-client session creates per second; over it creates shed 429 (0 = unlimited)")
+	createBurst := fs.Int("create-burst", 10, "per-client create burst allowance under -create-rate")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive archive write failures that trip the store circuit breaker")
+	breakerProbe := fs.Duration("breaker-probe", time.Second, "recovery-probe cadence while the store breaker is open")
+	spillEvents := fs.Int("spill-events", 4096, "in-memory spill buffer capacity (events) while the store breaker is open")
+	watchdogInterval := fs.Duration("watchdog-interval", 10*time.Second, "resource watchdog sampling cadence")
+	maxGoroutines := fs.Int("max-goroutines", 5000, "goroutine budget; over it health degrades, at 2x it fails (0 = unwatched)")
+	maxFDs := fs.Int("max-fds", 0, "open file-descriptor budget for the watchdog (0 = unwatched)")
+	maxHeap := fs.Uint64("max-heap", 0, "heap-bytes budget for the watchdog (0 = unwatched)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// Daemon-wide health: components (store breaker, resource watchdog)
+	// report in; the aggregate drives /readyz and admission shedding.
+	mon := health.NewMonitor(func(format string, args ...any) {
+		fmt.Fprintf(logw, "badabingd: "+format+"\n", args...)
+	})
+
 	// The durable archive: WAL-backed session lifecycle + estimate
-	// history, replayed on startup so sessions survive crashes.
+	// history, replayed on startup so sessions survive crashes. The
+	// circuit breaker between registry and archive turns persistent
+	// write failures (disk full, dying device) into bounded in-memory
+	// spill + recovery replay instead of silent loss.
 	var sink fleet.Sink
+	var archive *store.Store
+	var breaker *fleet.BreakerSink
 	var info store.RecoveryInfo
 	if *dataDir != "" {
 		policy, err := store.ParseFsyncPolicy(*fsyncMode)
 		if err != nil {
 			return err
 		}
-		archive, rinfo, err := store.Open(store.Options{
+		a, rinfo, err := store.Open(store.Options{
 			Dir:           *dataDir,
 			SegmentBytes:  *segmentBytes,
 			Fsync:         policy,
@@ -81,12 +103,32 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		if err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
-		sink = archive
+		archive = a
+		breaker = fleet.NewBreakerSink(archive, fleet.BreakerConfig{
+			Threshold:     *breakerThreshold,
+			SpillCapacity: *spillEvents,
+			ProbeInterval: *breakerProbe,
+			Health:        mon,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(logw, "badabingd: "+format+"\n", args...)
+			},
+		})
+		sink = breaker
 		info = rinfo
 		fmt.Fprintf(logw, "badabingd: store %s: replayed %d records from %d segments in %v (%d torn tails, %d sessions)\n",
 			*dataDir, rinfo.Records, max(rinfo.Segments, 1), rinfo.Duration.Round(time.Microsecond),
 			rinfo.TornTails, len(rinfo.Sessions))
 	}
+
+	// The resource watchdog feeds the health monitor: one transition log
+	// per breach, degraded over budget, failing at 2x.
+	wd := health.NewWatchdog(mon, health.Budgets{
+		MaxGoroutines: *maxGoroutines,
+		MaxFDs:        *maxFDs,
+		MaxHeapBytes:  *maxHeap,
+	}, *watchdogInterval)
+	wd.Start()
+	defer wd.Stop()
 
 	reg := fleet.NewRegistry(fleet.Config{
 		MaxSessions:   *maxSessions,
@@ -108,9 +150,11 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	// Optionally co-host a reflector so one daemon can serve as the far
 	// end of another's wire sessions; its counters ride on /metrics.
 	var extra []func(io.Writer)
-	if s, ok := sink.(*store.Store); ok {
-		extra = append(extra, func(w io.Writer) { writeStoreMetrics(w, s) })
+	if archive != nil {
+		extra = append(extra, func(w io.Writer) { writeStoreMetrics(w, archive) })
+		extra = append(extra, breaker.WriteMetrics)
 	}
+	extra = append(extra, wd.WriteMetrics)
 	if *reflect != "" {
 		pc, err := net.ListenPacket("udp", *reflect)
 		if err != nil {
@@ -132,7 +176,16 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: fleet.NewHandler(reg, extra...)}
+	var limiter *fleet.RateLimiter
+	if *createRate > 0 {
+		limiter = fleet.NewRateLimiter(*createRate, *createBurst)
+	}
+	handler := fleet.NewHandlerOpts(reg, fleet.HandlerOptions{
+		Health:     mon,
+		MaxPending: *maxPending,
+		Limiter:    limiter,
+	}, extra...)
+	srv := newHTTPServer(handler)
 	fmt.Fprintf(logw, "badabingd: listening on %s (%d workers)\n", ln.Addr(), reg.Workers())
 	if ready != nil {
 		ready <- ln.Addr().String()
@@ -172,6 +225,21 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	return nil
 }
 
+// newHTTPServer wraps the API handler in a server with conservative
+// network timeouts, so one stalled or malicious client cannot pin a
+// connection goroutine forever: header read bounded (slowloris), whole
+// request read bounded (the API takes small JSON bodies only), idle
+// keep-alives reaped. No WriteTimeout: /metrics and history responses
+// legitimately stream, and the handler itself is not client-paced.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // writeStoreMetrics appends the durable archive's counters to the
 // Prometheus exposition.
 func writeStoreMetrics(w io.Writer, s *store.Store) {
@@ -192,6 +260,8 @@ func writeStoreMetrics(w io.Writer, s *store.Store) {
 	emit("badabingd_store_sessions", "gauge", "Sessions in the archive index.", float64(st.Sessions))
 	emit("badabingd_store_points", "gauge", "Estimate snapshots in the queryable series.", float64(st.Points))
 	emit("badabingd_store_dropped_after_close_total", "counter", "Events dropped because they arrived after store close (always 0 when shutdown ordering holds).", float64(st.DroppedAfterClose))
+	emit("badabingd_store_write_errors_total", "counter", "WAL append failures (the breaker's trip signal; nonzero means the archive disk misbehaved).", float64(st.WriteErrors))
+	emit("badabingd_store_fsync_errors_total", "counter", "WAL fsync failures (acknowledged records may not be durable).", float64(st.FsyncErrors))
 }
 
 // writeReflectorMetrics appends the co-hosted reflector's counters to the

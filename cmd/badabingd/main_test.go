@@ -199,3 +199,105 @@ func TestDaemonBadFlags(t *testing.T) {
 		t.Fatal("expected flag parse error")
 	}
 }
+
+// TestServerTimeouts pins satellite hardening: the HTTP server must
+// carry the slowloris/stall protections, with sane values.
+func TestServerTimeouts(t *testing.T) {
+	srv := newHTTPServer(http.NewServeMux())
+	cases := []struct {
+		name string
+		got  time.Duration
+		want time.Duration
+	}{
+		{"ReadHeaderTimeout", srv.ReadHeaderTimeout, 5 * time.Second},
+		{"ReadTimeout", srv.ReadTimeout, 30 * time.Second},
+		{"IdleTimeout", srv.IdleTimeout, 2 * time.Minute},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.got != tc.want {
+				t.Fatalf("%s = %v, want %v", tc.name, tc.got, tc.want)
+			}
+			if tc.got <= 0 {
+				t.Fatalf("%s unset; a stalled client can pin a connection forever", tc.name)
+			}
+		})
+	}
+	if srv.WriteTimeout != 0 {
+		t.Fatalf("WriteTimeout = %v, want 0 (metrics/history responses may stream)", srv.WriteTimeout)
+	}
+}
+
+// TestDaemonReadyz boots the daemon and checks the deep-readiness
+// endpoint reports the health state machine.
+func TestDaemonReadyz(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-listen", "127.0.0.1:0", "-watchdog-interval", "50ms"}, io.Discard, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Status string `json:"status"`
+		Health *struct {
+			State      string                     `json:"state"`
+			Components map[string]json.RawMessage `json:"components"`
+		} `json:"health"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || body.Status != "ok" {
+		t.Fatalf("readyz: %d %+v", resp.StatusCode, body)
+	}
+	if body.Health == nil {
+		t.Fatal("readyz body carries no health snapshot")
+	}
+	if _, ok := body.Health.Components["resources"]; !ok {
+		t.Fatalf("watchdog component missing from readyz: %+v", body.Health.Components)
+	}
+
+	// Health metric families ride on /metrics.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"badabingd_health_state 0",
+		`badabingd_health_component{component="resources"} 0`,
+		"badabingd_watchdog_goroutines",
+		"badabingd_admission_shed_total",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon never exited")
+	}
+}

@@ -280,11 +280,16 @@ type Totals struct {
 // *store.Store is the production implementation; store.NewMem() is the
 // in-memory test double. Implementations must be safe for concurrent
 // use; calls never block on anything slower than a local disk append.
+//
+// Each method returns the durable-append error, if any — a full disk
+// must be a visible event, not silent history loss. The registry itself
+// does not retry on errors; wrap the sink in a BreakerSink to convert
+// persistent failures into bounded in-memory spill + recovery replay.
 type Sink interface {
-	SessionCreated(id string, at time.Time, cfgJSON []byte, seed int64)
-	SessionState(id string, at time.Time, state string, terminal bool, errMsg string, retries int, seed int64)
-	SessionPoint(id string, p store.Point)
-	RegistryTotals(t store.Totals)
+	SessionCreated(id string, at time.Time, cfgJSON []byte, seed int64) error
+	SessionState(id string, at time.Time, state string, terminal bool, errMsg string, retries int, seed int64) error
+	SessionPoint(id string, p store.Point) error
+	RegistryTotals(t store.Totals) error
 }
 
 // HistorySource is the optional query side of a Sink: the persisted

@@ -7,8 +7,10 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
+	"badabing/internal/health"
 	"badabing/internal/store"
 )
 
@@ -16,6 +18,36 @@ import (
 // SessionConfig is a few hundred bytes, so 1 MiB is generous and keeps a
 // hostile client from buffering the daemon into the ground.
 const maxCreateBody = 1 << 20
+
+// HandlerOptions parameterizes the API's self-protection layer. The
+// zero value disables all of it (the bare NewHandler behavior).
+type HandlerOptions struct {
+	// Health, when set, backs GET /readyz (deep readiness) and the
+	// badabingd_health_* metric families; a failing daemon sheds
+	// session creates with 503.
+	Health *health.Monitor
+	// MaxPending sheds creates with 503 + Retry-After once this many
+	// sessions queue in Pending state — admitting more would only
+	// starve pacing deadlines. 0 disables queue-depth shedding.
+	MaxPending int
+	// Limiter rate-limits creates per client address (429 +
+	// Retry-After). nil disables.
+	Limiter *RateLimiter
+	// RetryAfter is the Retry-After hint on shed responses (503s and
+	// registry-full 429s; rate-limit 429s compute their own from the
+	// bucket). Default 5s.
+	RetryAfter time.Duration
+}
+
+// api is one handler instance: registry + options + shed counters.
+type api struct {
+	reg  *Registry
+	opts HandlerOptions
+
+	shedNotReady atomic.Int64
+	shedQueue    atomic.Int64
+	shedRate     atomic.Int64
+}
 
 // NewHandler returns the daemon's HTTP API for a registry:
 //
@@ -29,6 +61,7 @@ const maxCreateBody = 1 << 20
 //	GET    /v1/store/stats        durable-archive operational stats
 //	GET    /metrics               Prometheus text exposition
 //	GET    /healthz               liveness
+//	GET    /readyz                deep readiness (health state machine)
 //
 // All non-metrics responses are JSON; errors are {"error": "..."}.
 // Status codes are uniform across routes: an unknown session id on any
@@ -36,11 +69,23 @@ const maxCreateBody = 1 << 20
 // query parameter is 400; unmatched paths are a JSON 404. Malformed or
 // unknown-field JSON and invalid configs are client errors (400), never
 // 500s; oversized bodies are cut off at 1 MiB (413); a draining
-// registry answers 503.
+// registry answers 503. Shed responses (503 not-ready/queue-full/
+// draining, 429 rate-limited/registry-full) always carry Retry-After.
 //
 // extra metric sources (e.g. a co-hosted reflector's counters) are
 // appended to the /metrics exposition.
 func NewHandler(r *Registry, extra ...func(io.Writer)) http.Handler {
+	return NewHandlerOpts(r, HandlerOptions{}, extra...)
+}
+
+// NewHandlerOpts is NewHandler with the self-protection layer
+// configured: deep readiness, queue-depth shedding and per-client rate
+// limiting on session creates.
+func NewHandlerOpts(r *Registry, opts HandlerOptions, extra ...func(io.Writer)) http.Handler {
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = 5 * time.Second
+	}
+	a := &api{reg: r, opts: opts}
 	mux := http.NewServeMux()
 
 	// Every unmatched path falls through here: the API's 404s are JSON
@@ -50,6 +95,9 @@ func NewHandler(r *Registry, extra ...func(io.Writer)) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
+		if !a.admit(w, req) {
+			return
+		}
 		req.Body = http.MaxBytesReader(w, req.Body, maxCreateBody)
 		var cfg SessionConfig
 		dec := json.NewDecoder(req.Body)
@@ -68,9 +116,14 @@ func NewHandler(r *Registry, extra ...func(io.Writer)) http.Handler {
 			status := http.StatusBadRequest
 			switch {
 			case errors.Is(err, ErrRegistryFull):
+				// The registry is at MaxSessions: the client can retry
+				// once something finishes or is deleted.
 				status = http.StatusTooManyRequests
+				setRetryAfter(w, opts.RetryAfter)
 			case errors.Is(err, ErrClosed):
+				// Draining: this daemon is going away.
 				status = http.StatusServiceUnavailable
+				setRetryAfter(w, opts.RetryAfter)
 			}
 			writeError(w, status, err)
 			return
@@ -175,6 +228,12 @@ func NewHandler(r *Registry, extra ...func(io.Writer)) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteMetrics(w, r)
+		if opts.Health != nil {
+			opts.Health.WriteMetrics(w)
+		}
+		if opts.Health != nil || opts.Limiter != nil || opts.MaxPending > 0 {
+			a.writeShedMetrics(w)
+		}
 		for _, f := range extra {
 			f(w)
 		}
@@ -184,7 +243,95 @@ func NewHandler(r *Registry, extra ...func(io.Writer)) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 
+	mux.HandleFunc("GET /readyz", a.readyz)
+
 	return mux
+}
+
+// admit applies the create endpoint's shedding policy, in order of
+// severity: a failing daemon (503), a pending queue already past its
+// budget (503), then the per-client rate limit (429). Shed responses
+// always carry Retry-After so well-behaved clients back off instead of
+// hammering.
+func (a *api) admit(w http.ResponseWriter, req *http.Request) bool {
+	if a.opts.Health != nil && a.opts.Health.State() == health.Failing {
+		a.shedNotReady.Add(1)
+		setRetryAfter(w, a.opts.RetryAfter)
+		writeError(w, http.StatusServiceUnavailable, errors.New("fleet: daemon failing; not accepting sessions"))
+		return false
+	}
+	if a.opts.MaxPending > 0 {
+		if pending := a.reg.StateCounts()[Pending]; pending >= a.opts.MaxPending {
+			a.shedQueue.Add(1)
+			setRetryAfter(w, a.opts.RetryAfter)
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("fleet: %d sessions already pending; retry later", pending))
+			return false
+		}
+	}
+	if a.opts.Limiter != nil {
+		if ok, wait := a.opts.Limiter.Allow(clientKey(req.RemoteAddr)); !ok {
+			a.shedRate.Add(1)
+			setRetryAfter(w, wait)
+			writeError(w, http.StatusTooManyRequests, errors.New("fleet: per-client session create rate exceeded"))
+			return false
+		}
+	}
+	return true
+}
+
+// readyzResponse is the deep-readiness body: the aggregate state, the
+// per-component probes behind it, and the shedding inputs.
+type readyzResponse struct {
+	Status   string           `json:"status"`
+	Draining bool             `json:"draining,omitempty"`
+	Pending  int              `json:"pending"`
+	Health   *health.Snapshot `json:"health,omitempty"`
+}
+
+// readyz reports deep readiness: 200 while the daemon can accept
+// sessions (including degraded — impaired but serving), 503 once it is
+// failing or draining. Load balancers route on the code; operators read
+// the component detail in the body.
+func (a *api) readyz(w http.ResponseWriter, req *http.Request) {
+	resp := readyzResponse{Status: health.Ok.String(), Pending: a.reg.StateCounts()[Pending]}
+	if a.opts.Health != nil {
+		snap := a.opts.Health.Snapshot()
+		resp.Status = snap.State.String()
+		resp.Health = &snap
+	}
+	status := http.StatusOK
+	if resp.Status == health.Failing.String() {
+		status = http.StatusServiceUnavailable
+	}
+	if a.reg.Draining() {
+		resp.Draining = true
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	if status != http.StatusOK {
+		setRetryAfter(w, a.opts.RetryAfter)
+	}
+	writeJSON(w, status, resp)
+}
+
+// writeShedMetrics renders the admission counters.
+func (a *api) writeShedMetrics(w io.Writer) {
+	fmt.Fprintf(w, "# HELP badabingd_admission_shed_total Session creates shed by the overload-protection layer, by reason.\n")
+	fmt.Fprintf(w, "# TYPE badabingd_admission_shed_total counter\n")
+	fmt.Fprintf(w, "badabingd_admission_shed_total{reason=\"not_ready\"} %d\n", a.shedNotReady.Load())
+	fmt.Fprintf(w, "badabingd_admission_shed_total{reason=\"queue_full\"} %d\n", a.shedQueue.Load())
+	fmt.Fprintf(w, "badabingd_admission_shed_total{reason=\"rate_limited\"} %d\n", a.shedRate.Load())
+}
+
+// setRetryAfter sets the Retry-After hint, always at least 1 second —
+// the header's resolution.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
 // historyResponse is the history endpoint's JSON shape. Field order is

@@ -248,16 +248,50 @@ func orNow(t time.Time) time.Time {
 	return t
 }
 
-// HistorySourceOf returns the query side of the registry's store, nil
-// when persistence is disabled or the sink cannot serve history.
-func (r *Registry) HistorySourceOf() HistorySource {
-	hs, _ := r.store.(HistorySource)
-	return hs
+// unwrapSink walks wrapper sinks (the circuit breaker, chaos
+// injectors) down to the real store, returning every layer so callers
+// can probe each for a query interface. Middleware exposes its inner
+// sink as either `Unwrap() Sink` (fleet's own wrappers) or
+// `Unwrap() any` (wrappers that cannot import fleet).
+func unwrapSink(s Sink) []Sink {
+	chain := []Sink{s}
+	for s != nil {
+		switch u := s.(type) {
+		case interface{ Unwrap() Sink }:
+			s = u.Unwrap()
+		case interface{ Unwrap() any }:
+			next, ok := u.Unwrap().(Sink)
+			if !ok {
+				return chain
+			}
+			s = next
+		default:
+			return chain
+		}
+		chain = append(chain, s)
+	}
+	return chain
 }
 
-// StatsSourceOf returns the stats side of the registry's store, nil when
-// unavailable.
+// HistorySourceOf returns the query side of the registry's store
+// (unwrapping breaker middleware), nil when persistence is disabled or
+// the sink cannot serve history.
+func (r *Registry) HistorySourceOf() HistorySource {
+	for _, s := range unwrapSink(r.store) {
+		if hs, ok := s.(HistorySource); ok {
+			return hs
+		}
+	}
+	return nil
+}
+
+// StatsSourceOf returns the stats side of the registry's store
+// (unwrapping breaker middleware), nil when unavailable.
 func (r *Registry) StatsSourceOf() StatsSource {
-	ss, _ := r.store.(StatsSource)
-	return ss
+	for _, s := range unwrapSink(r.store) {
+		if ss, ok := s.(StatsSource); ok {
+			return ss
+		}
+	}
+	return nil
 }

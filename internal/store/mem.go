@@ -45,11 +45,11 @@ func (m *Mem) note(ev string) bool {
 }
 
 // SessionCreated mirrors Store.SessionCreated.
-func (m *Mem) SessionCreated(id string, at time.Time, cfgJSON []byte, seed int64) {
+func (m *Mem) SessionCreated(id string, at time.Time, cfgJSON []byte, seed int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.note("created " + id) {
-		return
+		return nil
 	}
 	sr := m.upsert(id)
 	sr.cfgJSON = append([]byte(nil), cfgJSON...)
@@ -57,14 +57,15 @@ func (m *Mem) SessionCreated(id string, at time.Time, cfgJSON []byte, seed int64
 	if seed != 0 {
 		sr.seed = seed
 	}
+	return nil
 }
 
 // SessionState mirrors Store.SessionState.
-func (m *Mem) SessionState(id string, at time.Time, state string, terminal bool, errMsg string, retries int, seed int64) {
+func (m *Mem) SessionState(id string, at time.Time, state string, terminal bool, errMsg string, retries int, seed int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.note("state " + id + " " + state) {
-		return
+		return nil
 	}
 	sr := m.upsert(id)
 	sr.state = state
@@ -80,26 +81,29 @@ func (m *Mem) SessionState(id string, at time.Time, state string, terminal bool,
 	case state == "running" && sr.startedNs == 0:
 		sr.startedNs = at.UnixNano()
 	}
+	return nil
 }
 
 // SessionPoint mirrors Store.SessionPoint.
-func (m *Mem) SessionPoint(id string, p Point) {
+func (m *Mem) SessionPoint(id string, p Point) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.note("point " + id) {
-		return
+		return nil
 	}
 	m.upsert(id).addPoint(p)
+	return nil
 }
 
 // RegistryTotals mirrors Store.RegistryTotals.
-func (m *Mem) RegistryTotals(t Totals) {
+func (m *Mem) RegistryTotals(t Totals) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.note("totals") {
-		return
+		return nil
 	}
 	m.totals.maxTotals(t)
+	return nil
 }
 
 // History mirrors Store.History.

@@ -131,7 +131,12 @@ func (sr *sessionRec) view() Session {
 // Store is the durable measurement archive. All methods are safe for
 // concurrent use. The event-append methods (SessionCreated,
 // SessionState, SessionPoint, RegistryTotals) satisfy the registry's
-// sink interface; appends after Close are dropped, never a panic.
+// sink interface and surface real WAL append/fsync errors (disk full,
+// I/O error) to the caller — the fleet's store circuit breaker uses
+// them to trip into its spill buffer. Every error is also tallied in
+// Stats (WriteErrors/FsyncErrors) so silent loss is visible on
+// /metrics. Appends after Close are dropped and counted, never a
+// panic.
 type Store struct {
 	opts Options
 
@@ -358,12 +363,15 @@ func (s *Store) sessionViewsLocked() []Session {
 
 // --- event sink (the registry's write path) ---
 
-// SessionCreated records a new session and its (defaulted) config.
-func (s *Store) SessionCreated(id string, at time.Time, cfgJSON []byte, seed int64) {
+// SessionCreated records a new session and its (defaulted) config. The
+// returned error is the WAL append/fsync failure, if any; the in-memory
+// index is updated either way, so queries keep working while a breaker
+// handles durability.
+func (s *Store) SessionCreated(id string, at time.Time, cfgJSON []byte, seed int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dropIfClosedLocked() {
-		return
+		return nil
 	}
 	sr := s.upsertLocked(id)
 	sr.cfgJSON = append([]byte(nil), cfgJSON...)
@@ -380,15 +388,15 @@ func (s *Store) SessionCreated(id string, at time.Time, cfgJSON []byte, seed int
 	s.buf = appendI64(s.buf, at.UnixNano())
 	s.buf = appendI64(s.buf, seed)
 	s.buf = appendBytes(s.buf, cfgJSON)
-	s.w.append(frame(s.buf, 0), at.UnixNano())
+	return s.w.append(frame(s.buf, 0), at.UnixNano())
 }
 
 // SessionState records a lifecycle transition.
-func (s *Store) SessionState(id string, at time.Time, state string, terminal bool, errMsg string, retries int, seed int64) {
+func (s *Store) SessionState(id string, at time.Time, state string, terminal bool, errMsg string, retries int, seed int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dropIfClosedLocked() {
-		return
+		return nil
 	}
 	sr := s.upsertLocked(id)
 	s.applyStateLocked(sr, state, terminal, errMsg, retries, seed, at.UnixNano())
@@ -407,20 +415,20 @@ func (s *Store) SessionState(id string, at time.Time, state string, terminal boo
 	s.buf = appendU64(s.buf, uint64(retries))
 	s.buf = appendI64(s.buf, seed)
 	s.buf = appendStr(s.buf, errMsg)
-	s.w.append(frame(s.buf, 0), at.UnixNano())
+	return s.w.append(frame(s.buf, 0), at.UnixNano())
 }
 
 // SessionPoint appends one estimate snapshot to a session's series.
 // This is the steady-state hot path: the encode is allocation-free.
-func (s *Store) SessionPoint(id string, p Point) {
+func (s *Store) SessionPoint(id string, p Point) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dropIfClosedLocked() {
-		return
+		return nil
 	}
 	s.upsertLocked(id).addPoint(p)
 	s.encodePointLocked(id, p)
-	s.w.append(s.buf, p.At)
+	return s.w.append(s.buf, p.At)
 }
 
 // encodePointLocked builds the framed recPoint into s.buf.
@@ -435,11 +443,11 @@ func (s *Store) encodePointLocked(id string, p Point) {
 
 // RegistryTotals records the registry's lifetime counters; the newest
 // record seeds the counters after a restart so totals stay monotone.
-func (s *Store) RegistryTotals(t Totals) {
+func (s *Store) RegistryTotals(t Totals) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dropIfClosedLocked() {
-		return
+		return nil
 	}
 	s.totals.maxTotals(t)
 	at := s.opts.Now().UnixNano()
@@ -448,7 +456,7 @@ func (s *Store) RegistryTotals(t Totals) {
 	s.buf = append(s.buf, recTotals)
 	s.buf = appendI64(s.buf, at)
 	s.buf = appendTotals(s.buf, t)
-	s.w.append(frame(s.buf, 0), at)
+	return s.w.append(frame(s.buf, 0), at)
 }
 
 func (s *Store) dropIfClosedLocked() bool {
@@ -526,9 +534,14 @@ type Stats struct {
 	SegmentsDropped   int64   `json:"segments_dropped"`
 	Compactions       int64   `json:"compactions"`
 	DroppedAfterClose int64   `json:"dropped_after_close"`
-	FsyncPolicy       string  `json:"fsync_policy"`
-	RetentionSeconds  float64 `json:"retention_seconds"`
-	LastError         string  `json:"last_error,omitempty"`
+	// WriteErrors and FsyncErrors are cumulative WAL append/fsync
+	// failures — the alertable silent-loss signal (a healthy archive
+	// keeps both at zero).
+	WriteErrors      int64   `json:"write_errors"`
+	FsyncErrors      int64   `json:"fsync_errors"`
+	FsyncPolicy      string  `json:"fsync_policy"`
+	RetentionSeconds float64 `json:"retention_seconds"`
+	LastError        string  `json:"last_error,omitempty"`
 }
 
 // Stats snapshots the archive's counters.
@@ -557,6 +570,8 @@ func (s *Store) Stats() Stats {
 		SegmentsDropped:   s.w.segmentsDropped.Load(),
 		Compactions:       s.compactions.Load(),
 		DroppedAfterClose: s.droppedClosed.Load(),
+		WriteErrors:       s.w.writeErrors.Load(),
+		FsyncErrors:       s.w.fsyncErrors.Load(),
 		FsyncPolicy:       s.opts.Fsync.String(),
 		RetentionSeconds:  s.opts.Retention.Seconds(),
 	}

@@ -320,3 +320,57 @@ func TestMemMirrorsStore(t *testing.T) {
 		t.Errorf("after close = %d", m.AfterClose())
 	}
 }
+
+// TestWriteErrorsSurface: WAL append failures propagate to the sink
+// caller and are counted in Stats — the signal the fleet's store
+// circuit breaker trips on, and the alertable silent-loss counter.
+func TestWriteErrorsSurface(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, Options{Dir: dir, Fsync: FsyncAlways})
+	defer s.Close()
+
+	if err := s.SessionCreated("s0001", time.Unix(1, 0), []byte(`{"scenario":"idle"}`), 1); err != nil {
+		t.Fatalf("healthy append: %v", err)
+	}
+	if st := s.Stats(); st.WriteErrors != 0 || st.FsyncErrors != 0 {
+		t.Fatalf("healthy store reports errors: %+v", st)
+	}
+
+	// Kill the disk: close the active segment file underneath the WAL.
+	s.mu.Lock()
+	s.w.active.f.Close()
+	s.mu.Unlock()
+
+	if err := s.SessionPoint("s0001", testPoint(2, 1)); err == nil {
+		t.Fatal("append on dead file surfaced no error")
+	}
+	if err := s.SessionState("s0001", time.Unix(3, 0), "done", true, "", 0, 1); err == nil {
+		t.Fatal("state append on dead file surfaced no error")
+	}
+	if err := s.RegistryTotals(Totals{SessionsCreated: 1}); err == nil {
+		t.Fatal("totals append on dead file surfaced no error")
+	}
+	st := s.Stats()
+	if st.WriteErrors != 3 {
+		t.Errorf("Stats.WriteErrors = %d, want 3", st.WriteErrors)
+	}
+
+	// fsync failures are counted separately: force a dirty WAL onto the
+	// dead file.
+	s.mu.Lock()
+	s.w.dirty = true
+	err := s.w.fsync()
+	s.mu.Unlock()
+	if err == nil {
+		t.Fatal("fsync on dead file surfaced no error")
+	}
+	if st := s.Stats(); st.FsyncErrors != 1 {
+		t.Errorf("Stats.FsyncErrors = %d, want 1", st.FsyncErrors)
+	}
+
+	// The in-memory index kept serving through the outage: the point
+	// that failed to persist is still queryable live.
+	if pts, ok := s.History("s0001", time.Time{}, time.Time{}); !ok || len(pts) != 1 {
+		t.Errorf("live history during outage: ok=%v len=%d, want 1 point", ok, len(pts))
+	}
+}

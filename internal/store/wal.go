@@ -123,6 +123,8 @@ type wal struct {
 	fsyncNanos      atomic.Int64
 	segmentsCreated atomic.Int64
 	segmentsDropped atomic.Int64
+	writeErrors     atomic.Int64
+	fsyncErrors     atomic.Int64
 	lastErr         atomic.Value // error string
 }
 
@@ -205,12 +207,14 @@ func (w *wal) rotate() error {
 func (w *wal) append(buf []byte, at int64) error {
 	a := w.active
 	if a == nil {
+		w.writeErrors.Add(1)
 		return errors.New("store: wal closed")
 	}
 	n, err := a.f.Write(buf)
 	a.size += int64(n)
 	w.bytesWritten.Add(int64(n))
 	if err != nil {
+		w.writeErrors.Add(1)
 		w.setErr(err)
 		return err
 	}
@@ -244,6 +248,7 @@ func (w *wal) fsync() error {
 	w.fsyncs.Add(1)
 	w.fsyncNanos.Add(int64(time.Since(start)))
 	if err != nil {
+		w.fsyncErrors.Add(1)
 		w.setErr(err)
 		return err
 	}
