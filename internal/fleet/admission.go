@@ -25,9 +25,9 @@ type tokenBucket struct {
 	last   time.Time
 }
 
-// maxBuckets bounds the per-client map; past it, idle (full) buckets
-// are pruned on insert so a source-address scan cannot grow the map
-// without bound.
+// maxBuckets is a hard cap on the per-client map: at the cap an insert
+// first prunes idle (full) buckets, then evicts the idlest remaining
+// one, so a source-address scan can never grow the map without bound.
 const maxBuckets = 4096
 
 // NewRateLimiter builds a limiter granting rate tokens/second with the
@@ -62,6 +62,9 @@ func (l *RateLimiter) Allow(key string) (ok bool, retryAfter time.Duration) {
 	if !found {
 		if len(l.buckets) >= maxBuckets {
 			l.pruneLocked(now)
+			for len(l.buckets) >= maxBuckets {
+				l.evictIdlestLocked(now)
+			}
 		}
 		b = &tokenBucket{tokens: l.burst, last: now}
 		l.buckets[key] = b
@@ -84,6 +87,25 @@ func (l *RateLimiter) pruneLocked(now time.Time) {
 		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
 			delete(l.buckets, key)
 		}
+	}
+}
+
+// evictIdlestLocked removes the single bucket closest to fully refilled
+// (ties broken by least-recently-touched) — the hard cap enforcement
+// behind pruneLocked. Evicting the most-refilled bucket forgets the
+// least about currently rate-limited clients.
+func (l *RateLimiter) evictIdlestLocked(now time.Time) {
+	var victim string
+	best := -1.0
+	var bestLast time.Time
+	for key, b := range l.buckets {
+		eff := math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		if victim == "" || eff > best || (eff == best && b.last.Before(bestLast)) {
+			victim, best, bestLast = key, eff, b.last
+		}
+	}
+	if victim != "" {
+		delete(l.buckets, victim)
 	}
 }
 

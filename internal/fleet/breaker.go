@@ -101,11 +101,12 @@ type BreakerSink struct {
 	inner Sink
 	cfg   BreakerConfig
 
-	mu      sync.Mutex
-	state   BreakerState
-	fails   int // consecutive forward failures
-	spill   []spillEvent
-	lastErr error
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int // consecutive forward failures
+	spill    []spillEvent
+	draining bool // a drain is in flight (it yields mu between chunks)
+	lastErr  error
 
 	trips       atomic.Int64
 	spilled     atomic.Int64
@@ -250,23 +251,43 @@ func (b *BreakerSink) Probe() bool {
 	return b.drainLocked()
 }
 
-// drainLocked replays the spill head-first into the inner sink,
-// stopping at the first failure (which counts toward the trip
-// threshold), and closes the breaker when the buffer empties. It
-// reports whether the breaker is closed with an empty spill.
+// drainChunk bounds how many spilled events a drain replays per mutex
+// hold: between chunks the drain yields b.mu so concurrent deliver
+// calls spill behind the queue instead of stalling for the whole
+// replay (a full spill can be thousands of events, each fsynced).
+const drainChunk = 64
+
+// drainLocked replays the spill head-first into the inner sink in
+// bounded chunks, stopping at the first failure (which counts toward
+// the trip threshold), and closes the breaker when the buffer empties.
+// It reports whether the breaker is closed with an empty spill. At most
+// one drain runs at a time: because the mutex is yielded between
+// chunks, a second caller backs off instead of replaying the same head.
 func (b *BreakerSink) drainLocked() bool {
+	if b.draining {
+		return false
+	}
+	b.draining = true
+	defer func() { b.draining = false }()
 	replayedNow := 0
 	for len(b.spill) > 0 {
-		if err := b.forward(b.spill[0]); err != nil {
-			// Still failing: keep the remainder for the next attempt.
-			b.noteFailureLocked(err)
-			b.depth.Store(int64(len(b.spill)))
-			return false
+		for n := 0; n < drainChunk && len(b.spill) > 0; n++ {
+			if err := b.forward(b.spill[0]); err != nil {
+				// Still failing: keep the remainder for the next attempt.
+				b.noteFailureLocked(err)
+				b.depth.Store(int64(len(b.spill)))
+				return false
+			}
+			b.fails = 0
+			b.spill = b.spill[1:]
+			b.replayed.Add(1)
+			replayedNow++
 		}
-		b.fails = 0
-		b.spill = b.spill[1:]
-		b.replayed.Add(1)
-		replayedNow++
+		if len(b.spill) > 0 {
+			b.depth.Store(int64(len(b.spill)))
+			b.mu.Unlock()
+			b.mu.Lock()
+		}
 	}
 	b.spill = nil
 	b.depth.Store(0)

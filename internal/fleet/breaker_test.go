@@ -14,8 +14,10 @@ import (
 )
 
 // flakySink is a scripted Sink: it records every call in order and
-// fails all appends while failing is set.
+// fails all appends while failing is set. A non-zero delay slows every
+// forward (set before use) so drains span multiple chunks.
 type flakySink struct {
+	delay   time.Duration
 	mu      sync.Mutex
 	failing bool
 	calls   []string
@@ -24,6 +26,9 @@ type flakySink struct {
 var errFlaky = errors.New("flaky sink: write failed")
 
 func (f *flakySink) note(call string) error {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.failing {
@@ -231,6 +236,81 @@ func TestBreakerSpillOverflow(t *testing.T) {
 	}
 	if got := len(inner.recorded()); got != 3 {
 		t.Fatalf("sink saw %d events, want the 3 surviving ones", got)
+	}
+}
+
+// TestBreakerDrainReplaysAcrossChunks: a spill far larger than one
+// drain chunk is still fully replayed, in order, by a single probe.
+func TestBreakerDrainReplaysAcrossChunks(t *testing.T) {
+	inner := &flakySink{}
+	b := NewBreakerSink(inner, BreakerConfig{Threshold: 1, ProbeInterval: time.Hour})
+	defer b.Close()
+
+	inner.setFailing(true)
+	n := 2*drainChunk + 7
+	publish(b, 0, n)
+	inner.setFailing(false)
+	if !b.Probe() {
+		t.Fatal("Probe failed with healthy sink")
+	}
+	st := b.Stats()
+	if st.State != "closed" || st.SpillDepth != 0 || st.Replayed != int64(n) {
+		t.Fatalf("after chunked drain: %+v", st)
+	}
+	got := inner.recorded()
+	if len(got) != n {
+		t.Fatalf("forwarded %d events, want %d", len(got), n)
+	}
+	for i, call := range got {
+		want := fmt.Sprintf("point s0001 %d %d", time.Unix(1700000000, 0).UTC().Add(time.Duration(i)*time.Second).UnixNano(), i)
+		if call != want {
+			t.Fatalf("event %d = %q, want %q", i, call, want)
+		}
+	}
+}
+
+// TestBreakerDeliverConcurrentWithDrain: while a long drain is in
+// flight (yielding the mutex between chunks), concurrent publishes must
+// neither stall for the whole replay nor break the ordering invariant —
+// they spill behind the queue and everything reaches the sink exactly
+// once, in publish order.
+func TestBreakerDeliverConcurrentWithDrain(t *testing.T) {
+	inner := &flakySink{delay: 100 * time.Microsecond}
+	b := NewBreakerSink(inner, BreakerConfig{Threshold: 1, ProbeInterval: time.Hour})
+	defer b.Close()
+
+	inner.setFailing(true)
+	publish(b, 0, 3*drainChunk)
+	inner.setFailing(false)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.Probe()
+	}()
+	// Races the drain: these interleave with chunk yields and must queue
+	// behind the spilled events.
+	publish(b, 3*drainChunk, drainChunk)
+	<-done
+	// Anything spilled after the drain observed an empty buffer is
+	// picked up by one more probe.
+	if b.Stats().SpillDepth > 0 && !b.Probe() {
+		t.Fatal("final Probe failed with healthy sink")
+	}
+
+	n := 4 * drainChunk
+	got := inner.recorded()
+	if len(got) != n {
+		t.Fatalf("forwarded %d events, want %d", len(got), n)
+	}
+	for i, call := range got {
+		want := fmt.Sprintf("point s0001 %d %d", time.Unix(1700000000, 0).UTC().Add(time.Duration(i)*time.Second).UnixNano(), i)
+		if call != want {
+			t.Fatalf("event %d = %q, want %q", i, call, want)
+		}
+	}
+	if st := b.Stats(); st.Dropped != 0 || st.SpillDepth != 0 {
+		t.Fatalf("final stats: %+v", st)
 	}
 }
 

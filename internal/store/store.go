@@ -379,7 +379,7 @@ func (s *Store) SessionCreated(id string, at time.Time, cfgJSON []byte, seed int
 	if seed != 0 {
 		sr.seed = seed
 	}
-	sr.idSeg = s.w.active.index
+	sr.idSeg = s.w.activeIndex()
 
 	s.buf = s.buf[:0]
 	s.buf = append(s.buf, zeroHdr[:]...)
@@ -659,7 +659,7 @@ func (s *Store) appendFinalLocked(sr *sessionRec) {
 	s.buf = appendBytes(s.buf, sr.cfgJSON)
 	s.buf = appendPoint(s.buf, last)
 	s.w.append(frame(s.buf, 0), s.opts.Now().UnixNano())
-	sr.idSeg = s.w.active.index
+	sr.idSeg = s.w.activeIndex()
 }
 
 // --- background loops / shutdown ---

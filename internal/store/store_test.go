@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -336,9 +337,12 @@ func TestWriteErrorsSurface(t *testing.T) {
 		t.Fatalf("healthy store reports errors: %+v", st)
 	}
 
-	// Kill the disk: close the active segment file underneath the WAL.
+	// Kill the disk: every segment write fails persistently. (Closing
+	// the fd is not enough any more — the WAL would abandon the segment
+	// and heal itself by opening a fresh one on the healthy tempdir.)
+	errDead := errors.New("injected: input/output error")
 	s.mu.Lock()
-	s.w.active.f.Close()
+	s.w.writeFn = func(f *os.File, b []byte) (int, error) { return 0, errDead }
 	s.mu.Unlock()
 
 	if err := s.SessionPoint("s0001", testPoint(2, 1)); err == nil {
@@ -356,8 +360,9 @@ func TestWriteErrorsSurface(t *testing.T) {
 	}
 
 	// fsync failures are counted separately: force a dirty WAL onto the
-	// dead file.
+	// dead disk.
 	s.mu.Lock()
+	s.w.syncFn = func(f *os.File) error { return errDead }
 	s.w.dirty = true
 	err := s.w.fsync()
 	s.mu.Unlock()

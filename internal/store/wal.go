@@ -114,7 +114,18 @@ type wal struct {
 	// is kept; the files are not held open.
 	sealed []segMeta
 
+	// nextIndex is the segment a reopen creates when active is nil —
+	// rotation or unwind abandoned the previous one after an I/O error.
+	nextIndex int
+	shut      bool // close() called; appends must not reopen
+
 	dirty bool // records appended since the last fsync
+
+	// writeFn/syncFn, when non-nil, replace the active segment's
+	// Write/Sync so tests can inject short writes and fsync failures on
+	// the real on-disk append path.
+	writeFn func(f *os.File, b []byte) (int, error)
+	syncFn  func(f *os.File) error
 
 	// metrics, read lock-free by Stats/metrics scrapes.
 	bytesWritten    atomic.Int64
@@ -180,43 +191,109 @@ func (w *wal) openActive(index int, validSize int64, meta segMeta) error {
 	}
 	w.active = &segment{f: f, index: index, size: validSize,
 		firstAt: meta.firstAt, lastAt: meta.lastAt}
+	w.nextIndex = index
 	return nil
 }
 
-// rotate seals the active segment and opens the next one.
-func (w *wal) rotate() error {
+// rotate seals the (already fsynced) active segment and opens the next
+// one. A failure to open the next segment is not fatal to the append
+// that triggered rotation — the record is durable in the sealed file —
+// so it only leaves active nil; the next append retries via reopen.
+func (w *wal) rotate() {
 	a := w.active
-	if err := w.fsync(); err != nil {
-		return err
-	}
 	if err := a.f.Close(); err != nil {
-		return err
+		// The tail was fsynced before sealing; a close error loses no
+		// records, so record it and move on.
+		w.setErr(err)
 	}
 	w.sealed = append(w.sealed, segMeta{index: a.index, size: a.size,
 		firstAt: a.firstAt, lastAt: a.lastAt})
 	w.active = nil
+	w.nextIndex = a.index + 1
 	if err := w.openActive(a.index+1, 0, segMeta{}); err != nil {
+		w.setErr(err)
+		return
+	}
+	if err := syncDir(w.dir); err != nil {
+		w.setErr(err)
+	}
+}
+
+// reopen recreates an active segment after rotate or unwind abandoned
+// it (e.g. ENOSPC creating the next file). Appends call this so the
+// WAL heals as soon as the disk recovers instead of failing until
+// restart.
+func (w *wal) reopen() error {
+	if w.shut {
+		return errors.New("store: wal closed")
+	}
+	idx := w.nextIndex
+	if idx <= 0 {
+		idx = 1
+	}
+	if err := w.openActive(idx, 0, segMeta{}); err != nil {
+		w.setErr(err)
 		return err
 	}
-	return syncDir(w.dir)
+	if err := syncDir(w.dir); err != nil {
+		w.setErr(err)
+	}
+	return nil
+}
+
+// activeIndex is the segment new appends land in — the reopen target
+// when the active segment was abandoned after an I/O error.
+func (w *wal) activeIndex() int {
+	if w.active != nil {
+		return w.active.index
+	}
+	if w.nextIndex > 0 {
+		return w.nextIndex
+	}
+	return 1
 }
 
 // append writes one framed record (frame already applied to buf) and
 // applies the fsync policy. at is the record's logical timestamp for
 // retention bookkeeping (0 for untimed records).
+//
+// On any error the segment is rewound to the pre-write offset, so the
+// file always ends at a valid record boundary: a caller that treats the
+// error as "not persisted" and replays the record (the breaker sink
+// does) can neither duplicate it nor strand readable records behind a
+// torn frame.
 func (w *wal) append(buf []byte, at int64) error {
-	a := w.active
-	if a == nil {
-		w.writeErrors.Add(1)
-		return errors.New("store: wal closed")
+	if w.active == nil {
+		if err := w.reopen(); err != nil {
+			w.writeErrors.Add(1)
+			return err
+		}
 	}
-	n, err := a.f.Write(buf)
+	a := w.active
+	start := a.size
+	var n int
+	var err error
+	if w.writeFn != nil {
+		n, err = w.writeFn(a.f, buf)
+	} else {
+		n, err = a.f.Write(buf)
+	}
 	a.size += int64(n)
 	w.bytesWritten.Add(int64(n))
 	if err != nil {
 		w.writeErrors.Add(1)
 		w.setErr(err)
+		w.unwind(start)
 		return err
+	}
+	w.dirty = true
+	if w.policy == FsyncAlways || a.size >= w.segmentBytes {
+		// The pre-rotation fsync shares this path: a segment is never
+		// sealed with an unflushed tail.
+		if err := w.fsync(); err != nil {
+			w.unwind(start)
+			return err
+		}
 	}
 	w.recordsWritten.Add(1)
 	if at != 0 {
@@ -225,16 +302,36 @@ func (w *wal) append(buf []byte, at int64) error {
 		}
 		a.lastAt = at
 	}
-	w.dirty = true
-	if w.policy == FsyncAlways {
-		if err := w.fsync(); err != nil {
-			return err
-		}
-	}
 	if a.size >= w.segmentBytes {
-		return w.rotate()
+		w.rotate()
 	}
 	return nil
+}
+
+// unwind restores the active segment to end at offset to after a failed
+// write or fsync. When even that fails the segment is abandoned: sealed
+// at its valid prefix, with appends moving to a fresh segment — readers
+// and recovery stop a segment's scan at the first bad frame, so the
+// prefix stays intact and nothing ever lands after the torn bytes.
+func (w *wal) unwind(to int64) {
+	a := w.active
+	if a == nil {
+		return
+	}
+	if err := a.f.Truncate(to); err == nil {
+		if _, err := a.f.Seek(to, 0); err == nil {
+			a.size = to
+			// Force a future fsync to flush the truncation even if the
+			// failed record was the only dirty state.
+			w.dirty = true
+			return
+		}
+	}
+	a.f.Close()
+	w.sealed = append(w.sealed, segMeta{index: a.index, size: to,
+		firstAt: a.firstAt, lastAt: a.lastAt})
+	w.active = nil
+	w.nextIndex = a.index + 1
 }
 
 // fsync flushes the active segment if dirty.
@@ -244,7 +341,12 @@ func (w *wal) fsync() error {
 		return nil
 	}
 	start := time.Now()
-	err := w.active.f.Sync()
+	var err error
+	if w.syncFn != nil {
+		err = w.syncFn(w.active.f)
+	} else {
+		err = w.active.f.Sync()
+	}
 	w.fsyncs.Add(1)
 	w.fsyncNanos.Add(int64(time.Since(start)))
 	if err != nil {
@@ -288,6 +390,7 @@ func (w *wal) dropSealed(keep func(segMeta) bool) (int, error) {
 }
 
 func (w *wal) close() error {
+	w.shut = true
 	if w.active == nil {
 		return nil
 	}

@@ -1,0 +1,161 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// These tests drive real append failures through the on-disk WAL —
+// short writes under ENOSPC/EIO and fsync errors — and pin the unwind
+// contract: the segment always ends at a valid record boundary, so a
+// caller that treats the error as "not persisted" and replays the
+// record (the breaker sink does) neither duplicates history nor
+// strands later records behind a torn frame.
+
+var errInjectedDisk = errors.New("injected: no space left on device")
+
+// reopenPoints closes s, reopens the archive and returns s0001's
+// replayed series plus the recovery info.
+func reopenPoints(t *testing.T, s *Store, dir string) ([]Point, RecoveryInfo) {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, info := openT(t, Options{Dir: dir, Fsync: FsyncNever})
+	defer r.Close()
+	pts, _ := r.History("s0001", time.Time{}, time.Time{})
+	return pts, info
+}
+
+func TestAppendShortWriteUnwindsToRecordBoundary(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Unix(5000, 0)
+	s, _ := openT(t, Options{Dir: dir, Fsync: FsyncNever})
+	s.SessionCreated("s0001", base, []byte(`{}`), 1)
+	for i := 1; i <= 3; i++ {
+		s.SessionPoint("s0001", testPoint(base.Add(time.Duration(i)*time.Second).UnixNano(), i))
+	}
+
+	// The disk dies mid-frame: half the record lands, then an error.
+	s.w.writeFn = func(f *os.File, b []byte) (int, error) {
+		n, _ := f.Write(b[:len(b)/2])
+		return n, errInjectedDisk
+	}
+	p4 := testPoint(base.Add(4*time.Second).UnixNano(), 4)
+	if err := s.SessionPoint("s0001", p4); !errors.Is(err, errInjectedDisk) {
+		t.Fatalf("append during fault = %v, want injected error", err)
+	}
+	if got := s.Stats().WriteErrors; got != 1 {
+		t.Fatalf("write errors = %d, want 1", got)
+	}
+
+	// Disk recovers; the caller replays the failed record, then appends
+	// one more behind it.
+	s.w.writeFn = nil
+	if err := s.SessionPoint("s0001", p4); err != nil {
+		t.Fatalf("replay after recovery: %v", err)
+	}
+	p5 := testPoint(base.Add(5*time.Second).UnixNano(), 5)
+	if err := s.SessionPoint("s0001", p5); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+
+	pts, info := reopenPoints(t, s, dir)
+	if info.TornTails != 0 {
+		t.Fatalf("torn tails after unwind = %d, want 0", info.TornTails)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("replayed %d points, want 5 (no loss, no duplicate)", len(pts))
+	}
+	for i, p := range pts {
+		if want := base.Add(time.Duration(i+1) * time.Second).UnixNano(); p.At != want {
+			t.Fatalf("point %d at %d, want %d", i, p.At, want)
+		}
+	}
+}
+
+func TestAppendFsyncFailureRollsBackRecord(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Unix(6000, 0)
+	s, _ := openT(t, Options{Dir: dir, Fsync: FsyncAlways})
+	s.SessionCreated("s0001", base, []byte(`{}`), 1)
+	s.SessionPoint("s0001", testPoint(base.Add(time.Second).UnixNano(), 1))
+
+	// Under FsyncAlways a record whose fsync fails was never
+	// acknowledged: it must be cut from the file so a replay cannot
+	// duplicate it.
+	s.w.syncFn = func(f *os.File) error { return errInjectedDisk }
+	p2 := testPoint(base.Add(2*time.Second).UnixNano(), 2)
+	if err := s.SessionPoint("s0001", p2); !errors.Is(err, errInjectedDisk) {
+		t.Fatalf("append during fsync fault = %v, want injected error", err)
+	}
+	if got := s.Stats().FsyncErrors; got == 0 {
+		t.Fatal("fsync errors not counted")
+	}
+
+	s.w.syncFn = nil
+	if err := s.SessionPoint("s0001", p2); err != nil {
+		t.Fatalf("replay after recovery: %v", err)
+	}
+
+	pts, info := reopenPoints(t, s, dir)
+	if info.TornTails != 0 {
+		t.Fatalf("torn tails = %d, want 0", info.TornTails)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("replayed %d points, want 2 (rolled-back record must not duplicate)", len(pts))
+	}
+}
+
+func TestRotateOpenFailureHealsOnNextAppend(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Unix(7000, 0)
+	// Every record overflows the segment, so every append rotates.
+	s, _ := openT(t, Options{Dir: dir, SegmentBytes: 1, Fsync: FsyncNever})
+	s.SessionCreated("s0001", base, []byte(`{}`), 1)
+	s.SessionPoint("s0001", testPoint(base.Add(time.Second).UnixNano(), 1))
+
+	// Block the next segment's creation: a directory squats on its path
+	// (stands in for ENOSPC). The append that triggers rotation still
+	// succeeds — its record is sealed and durable — but the WAL is left
+	// without an active segment.
+	next := s.w.activeIndex() + 1
+	blocked := filepath.Join(dir, segName(next))
+	if err := os.Mkdir(blocked, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SessionPoint("s0001", testPoint(base.Add(2*time.Second).UnixNano(), 2)); err != nil {
+		t.Fatalf("append triggering blocked rotation: %v", err)
+	}
+	if s.w.active != nil {
+		t.Fatal("active segment survived a blocked rotation")
+	}
+
+	// While blocked, appends fail — visibly, not silently.
+	p3 := testPoint(base.Add(3*time.Second).UnixNano(), 3)
+	if err := s.SessionPoint("s0001", p3); err == nil {
+		t.Fatal("append with no active segment and blocked reopen succeeded")
+	}
+	if got := s.Stats().WriteErrors; got == 0 {
+		t.Fatal("blocked reopen not counted as write error")
+	}
+
+	// Space frees: the next append must heal the WAL without a restart.
+	if err := os.Remove(blocked); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SessionPoint("s0001", p3); err != nil {
+		t.Fatalf("append after reopen path cleared: %v", err)
+	}
+
+	pts, info := reopenPoints(t, s, dir)
+	if info.TornTails != 0 {
+		t.Fatalf("torn tails = %d, want 0", info.TornTails)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("replayed %d points, want 3", len(pts))
+	}
+}
