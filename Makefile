@@ -46,11 +46,24 @@ soak:
 
 # Static analysis beyond vet. The external analyzers are optional
 # locally (skipped with a note when not installed); CI installs both.
-lint: vet
+lint: vet metrics-hygiene
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 		else echo "staticcheck not installed; skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 		else echo "govulncheck not installed; skipping"; fi
+
+# internal/obs is the only producer of Prometheus exposition text: a
+# hand-rolled `fmt.Fprintf(w, "# HELP ...")` writer anywhere else
+# bypasses the registry (unsorted families, duplicate names, no
+# conformance coverage). Test files may hold the literals (they parse
+# and assert on them).
+metrics-hygiene:
+	@bad=$$(grep -rln --include='*.go' --exclude='*_test.go' -e '# HELP' -e '# TYPE' . | grep -v '^\./internal/obs/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "metrics-hygiene: exposition text written outside internal/obs:"; \
+		echo "$$bad"; exit 1; \
+	fi
+.PHONY: metrics-hygiene
 
 # Wire hot-path benchmark harness: reflector throughput (batch vs
 # single-packet), sender pacing-error distribution, and session cost at

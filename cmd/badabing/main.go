@@ -36,6 +36,7 @@ import (
 
 	"badabing/internal/badabing"
 	"badabing/internal/estimate"
+	"badabing/internal/obs"
 	"badabing/internal/session"
 	"badabing/internal/session/wiretransport"
 	"badabing/internal/wire"
@@ -173,9 +174,15 @@ func runMeasure(args []string) error {
 	window := fs.Int64("window", 0, "streaming window span in slots (0 = whole session)")
 	estKind := fs.String("estimator", estimate.DefaultKind,
 		"streaming estimator kind: "+estimate.KindList())
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "log line encoding: text or json")
 	fs.Parse(args)
 	if *target == "" {
 		return fmt.Errorf("missing -target")
+	}
+	log, err := obs.NewLoggerFlags(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
 	}
 	if _, err := estimate.Normalize(*estKind); err != nil {
 		return err
@@ -195,8 +202,9 @@ func runMeasure(args []string) error {
 	}
 	defer tr.Close()
 
-	fmt.Printf("session %d: p=%.2f N=%d slot=%v improved=%v → round trip via %s\n",
-		*id, *p, *n, *slot, *improved, *target)
+	log.Info("session starting",
+		"session", *id, "p", *p, "slots", *n, "slot", *slot,
+		"improved", *improved, "target", *target)
 	res, err := session.Run(ctx, tr, session.Config{
 		P: *p, Slots: *n, Slot: *slot, Improved: *improved, Seed: *seed,
 		StepSlots: *step, WindowSlots: *window,
@@ -224,7 +232,8 @@ func runMeasure(args []string) error {
 	}
 	fmt.Println()
 	if lag := tr.SendStats().MaxLag; lag > *slot/2 {
-		fmt.Printf("warning: pacing lag %v exceeded slot/2 — this host cannot sustain %v slots (see paper §7)\n", lag, *slot)
+		log.Warn("pacing lag exceeded slot/2; this host cannot sustain this slot width (see paper §7)",
+			"max_lag", lag, "slot", *slot)
 	}
 	return nil
 }

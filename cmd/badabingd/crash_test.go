@@ -64,8 +64,8 @@ func startCrashChild(t *testing.T, dir string) (*exec.Cmd, string) {
 		sc := bufio.NewScanner(stdout)
 		for sc.Scan() {
 			line := sc.Text()
-			if rest, ok := strings.CutPrefix(line, "badabingd: listening on "); ok {
-				addr, _, _ := strings.Cut(rest, " ")
+			if i := strings.Index(line, "addr="); i >= 0 && strings.Contains(line, "listening") {
+				addr, _, _ := strings.Cut(line[i+len("addr="):], " ")
 				select {
 				case addrc <- addr:
 				default:

@@ -18,6 +18,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,6 +26,7 @@ import (
 
 	"badabing/internal/fleet"
 	"badabing/internal/health"
+	"badabing/internal/obs"
 	"badabing/internal/store"
 	"badabing/internal/wire"
 )
@@ -69,15 +71,25 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	maxGoroutines := fs.Int("max-goroutines", 5000, "goroutine budget; over it health degrades, at 2x it fails (0 = unwatched)")
 	maxFDs := fs.Int("max-fds", 0, "open file-descriptor budget for the watchdog (0 = unwatched)")
 	maxHeap := fs.Uint64("max-heap", 0, "heap-bytes budget for the watchdog (0 = unwatched)")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "log line encoding: text or json")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiles under /debug/pprof/ on the API listener")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// One structured logger and one metric registry for the whole
+	// daemon: every subsystem logs through the former and registers its
+	// instrument families into the latter, which GET /metrics renders.
+	log, err := obs.NewLoggerFlags(logw, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	o := obs.NewRegistry()
+
 	// Daemon-wide health: components (store breaker, resource watchdog)
 	// report in; the aggregate drives /readyz and admission shedding.
-	mon := health.NewMonitor(func(format string, args ...any) {
-		fmt.Fprintf(logw, "badabingd: "+format+"\n", args...)
-	})
+	mon := health.NewMonitor(log)
 
 	// The durable archive: WAL-backed session lifecycle + estimate
 	// history, replayed on startup so sessions survive crashes. The
@@ -109,15 +121,16 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 			SpillCapacity: *spillEvents,
 			ProbeInterval: *breakerProbe,
 			Health:        mon,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(logw, "badabingd: "+format+"\n", args...)
-			},
+			Log:           log,
 		})
 		sink = breaker
 		info = rinfo
-		fmt.Fprintf(logw, "badabingd: store %s: replayed %d records from %d segments in %v (%d torn tails, %d sessions)\n",
-			*dataDir, rinfo.Records, max(rinfo.Segments, 1), rinfo.Duration.Round(time.Microsecond),
-			rinfo.TornTails, len(rinfo.Sessions))
+		archive.RegisterMetrics(o)
+		breaker.RegisterMetrics(o)
+		log.Info("store opened",
+			"dir", *dataDir, "records", rinfo.Records, "segments", max(rinfo.Segments, 1),
+			"replay", rinfo.Duration.Round(time.Microsecond),
+			"torn_tails", rinfo.TornTails, "sessions", len(rinfo.Sessions))
 	}
 
 	// The resource watchdog feeds the health monitor: one transition log
@@ -129,6 +142,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	}, *watchdogInterval)
 	wd.Start()
 	defer wd.Stop()
+	wd.RegisterMetrics(o)
 
 	reg := fleet.NewRegistry(fleet.Config{
 		MaxSessions:   *maxSessions,
@@ -142,19 +156,15 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	if sink != nil {
 		sum := reg.Restore(info)
 		if sum.Terminal+sum.Resumed+sum.Marked+sum.Skipped > 0 {
-			fmt.Fprintf(logw, "badabingd: recovered %d sessions (%d terminal, %d resumed, %d marked recovered, %d skipped)\n",
-				sum.Terminal+sum.Resumed+sum.Marked+sum.Skipped, sum.Terminal, sum.Resumed, sum.Marked, sum.Skipped)
+			log.Info("recovered sessions",
+				"total", sum.Terminal+sum.Resumed+sum.Marked+sum.Skipped,
+				"terminal", sum.Terminal, "resumed", sum.Resumed,
+				"marked", sum.Marked, "skipped", sum.Skipped)
 		}
 	}
 
 	// Optionally co-host a reflector so one daemon can serve as the far
 	// end of another's wire sessions; its counters ride on /metrics.
-	var extra []func(io.Writer)
-	if archive != nil {
-		extra = append(extra, func(w io.Writer) { writeStoreMetrics(w, archive) })
-		extra = append(extra, breaker.WriteMetrics)
-	}
-	extra = append(extra, wd.WriteMetrics)
 	if *reflect != "" {
 		pc, err := net.ListenPacket("udp", *reflect)
 		if err != nil {
@@ -164,12 +174,12 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		refl.OnReadError(func(err error) {
 			// Surfaced once per persistent error class (the loop keeps
 			// serving); the running count rides on /metrics.
-			fmt.Fprintf(logw, "badabingd: reflector read errors: %v\n", err)
+			log.Warn("reflector read errors", "err", err)
 		})
 		go refl.Run()
 		defer refl.Close()
-		fmt.Fprintf(logw, "badabingd: reflecting on %s (%d shards)\n", pc.LocalAddr(), refl.Shards())
-		extra = append(extra, func(w io.Writer) { writeReflectorMetrics(w, refl) })
+		refl.RegisterMetrics(o)
+		log.Info("reflecting", "addr", pc.LocalAddr(), "shards", refl.Shards())
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -184,9 +194,10 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 		Health:     mon,
 		MaxPending: *maxPending,
 		Limiter:    limiter,
-	}, extra...)
-	srv := newHTTPServer(handler)
-	fmt.Fprintf(logw, "badabingd: listening on %s (%d workers)\n", ln.Addr(), reg.Workers())
+		Obs:        o,
+	})
+	srv := newHTTPServer(handler, *pprofOn)
+	log.Info("listening", "addr", ln.Addr(), "workers", reg.Workers(), "pprof", *pprofOn)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -200,18 +211,20 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintf(logw, "badabingd: draining (deadline %v)\n", *drainTimeout)
+	log.Info("draining", "deadline", *drainTimeout)
 	start := time.Now()
 	clean := reg.Drain(*drainTimeout)
 	for _, s := range reg.List() {
 		v := s.View()
-		fmt.Fprintf(logw, "badabingd: session %s %s: %d/%d slots, F=%g\n",
-			v.ID, v.State, v.SlotsDone, v.Config.Slots, v.Snapshot.Total.Frequency)
+		log.Info("session final",
+			"session", v.ID, "state", v.State,
+			"slots_done", v.SlotsDone, "slots", v.Config.Slots,
+			"frequency", v.Snapshot.Total.Frequency)
 	}
 	if clean {
-		fmt.Fprintf(logw, "badabingd: drained in %v\n", time.Since(start).Round(time.Millisecond))
+		log.Info("drained", "took", time.Since(start).Round(time.Millisecond))
 	} else {
-		fmt.Fprintf(logw, "badabingd: drain deadline %v exceeded, exiting anyway\n", *drainTimeout)
+		log.Warn("drain deadline exceeded; exiting anyway", "deadline", *drainTimeout)
 	}
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -231,71 +244,23 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- string
 // request read bounded (the API takes small JSON bodies only), idle
 // keep-alives reaped. No WriteTimeout: /metrics and history responses
 // legitimately stream, and the handler itself is not client-paced.
-func newHTTPServer(h http.Handler) *http.Server {
+// With pprofOn the Go runtime profiles mount under /debug/pprof/ on an
+// outer mux, ahead of the API's catch-all 404.
+func newHTTPServer(h http.Handler, pprofOn bool) *http.Server {
+	if pprofOn {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", h)
+		h = outer
+	}
 	return &http.Server{
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
-	}
-}
-
-// writeStoreMetrics appends the durable archive's counters to the
-// Prometheus exposition.
-func writeStoreMetrics(w io.Writer, s *store.Store) {
-	st := s.Stats()
-	emit := func(name, kind, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, kind, name, v)
-	}
-	emit("badabingd_store_bytes_written_total", "counter", "Bytes appended to the measurement WAL.", float64(st.BytesWritten))
-	emit("badabingd_store_records_written_total", "counter", "Records appended to the measurement WAL.", float64(st.RecordsWritten))
-	emit("badabingd_store_records_replayed", "gauge", "Records replayed from the WAL at the last startup.", float64(st.RecordsReplayed))
-	emit("badabingd_store_recovery_seconds", "gauge", "WAL replay duration at the last startup.", st.RecoverySeconds)
-	emit("badabingd_store_torn_tails", "gauge", "Segments whose replay ended at a torn or corrupt frame.", float64(st.TornTails))
-	emit("badabingd_store_segments", "gauge", "Live WAL segment files (sealed + active).", float64(st.Segments))
-	emit("badabingd_store_segments_dropped_total", "counter", "Segments deleted by retention.", float64(st.SegmentsDropped))
-	emit("badabingd_store_compactions_total", "counter", "Retention sweeps that dropped or compacted data.", float64(st.Compactions))
-	emit("badabingd_store_fsyncs_total", "counter", "WAL fsync calls.", float64(st.Fsyncs))
-	emit("badabingd_store_fsync_seconds_total", "counter", "Cumulative time spent in WAL fsyncs (latency = rate of this over fsyncs).", st.FsyncSeconds)
-	emit("badabingd_store_sessions", "gauge", "Sessions in the archive index.", float64(st.Sessions))
-	emit("badabingd_store_points", "gauge", "Estimate snapshots in the queryable series.", float64(st.Points))
-	emit("badabingd_store_dropped_after_close_total", "counter", "Events dropped because they arrived after store close (always 0 when shutdown ordering holds).", float64(st.DroppedAfterClose))
-	emit("badabingd_store_write_errors_total", "counter", "WAL append failures (the breaker's trip signal; nonzero means the archive disk misbehaved).", float64(st.WriteErrors))
-	emit("badabingd_store_fsync_errors_total", "counter", "WAL fsync failures (acknowledged records may not be durable).", float64(st.FsyncErrors))
-}
-
-// writeReflectorMetrics appends the co-hosted reflector's counters to the
-// Prometheus exposition.
-func writeReflectorMetrics(w io.Writer, refl *wire.Reflector) {
-	fmt.Fprintf(w, "# HELP badabingd_reflector_packets_total Probe packets echoed by the co-hosted reflector.\n")
-	fmt.Fprintf(w, "# TYPE badabingd_reflector_packets_total counter\n")
-	fmt.Fprintf(w, "badabingd_reflector_packets_total %d\n", refl.Packets())
-	fmt.Fprintf(w, "# HELP badabingd_reflector_pings_total Liveness pings answered by the co-hosted reflector.\n")
-	fmt.Fprintf(w, "# TYPE badabingd_reflector_pings_total counter\n")
-	fmt.Fprintf(w, "badabingd_reflector_pings_total %d\n", refl.Pings())
-	fmt.Fprintf(w, "# HELP badabingd_reflector_dropped_total Reflector write failures (echoes or pongs it could not send).\n")
-	fmt.Fprintf(w, "# TYPE badabingd_reflector_dropped_total counter\n")
-	fmt.Fprintf(w, "badabingd_reflector_dropped_total %d\n", refl.Dropped())
-	fmt.Fprintf(w, "# HELP badabingd_reflector_read_errors_total Transient read errors the reflector loops survived (monotone; current class logged once per change).\n")
-	fmt.Fprintf(w, "# TYPE badabingd_reflector_read_errors_total counter\n")
-	readErrs, _ := refl.ReadErrors()
-	fmt.Fprintf(w, "badabingd_reflector_read_errors_total %d\n", readErrs)
-	// Per-shard rows: the aggregates above are their exact sums, so a
-	// cold shard (scheduling imbalance, wedged batch state) is visible.
-	fmt.Fprintf(w, "# HELP badabingd_reflector_shard_packets_total Probe packets echoed, by echo shard.\n")
-	fmt.Fprintf(w, "# TYPE badabingd_reflector_shard_packets_total counter\n")
-	shards := refl.ShardCounts()
-	for i, s := range shards {
-		fmt.Fprintf(w, "badabingd_reflector_shard_packets_total{shard=%q} %d\n", fmt.Sprint(i), s.Packets)
-	}
-	fmt.Fprintf(w, "# HELP badabingd_reflector_shard_pings_total Liveness pings answered, by echo shard.\n")
-	fmt.Fprintf(w, "# TYPE badabingd_reflector_shard_pings_total counter\n")
-	for i, s := range shards {
-		fmt.Fprintf(w, "badabingd_reflector_shard_pings_total{shard=%q} %d\n", fmt.Sprint(i), s.Pings)
-	}
-	fmt.Fprintf(w, "# HELP badabingd_reflector_shard_dropped_total Write failures, by echo shard.\n")
-	fmt.Fprintf(w, "# TYPE badabingd_reflector_shard_dropped_total counter\n")
-	for i, s := range shards {
-		fmt.Fprintf(w, "badabingd_reflector_shard_dropped_total{shard=%q} %d\n", fmt.Sprint(i), s.Dropped)
 	}
 }

@@ -203,7 +203,7 @@ func TestDaemonBadFlags(t *testing.T) {
 // TestServerTimeouts pins satellite hardening: the HTTP server must
 // carry the slowloris/stall protections, with sane values.
 func TestServerTimeouts(t *testing.T) {
-	srv := newHTTPServer(http.NewServeMux())
+	srv := newHTTPServer(http.NewServeMux(), false)
 	cases := []struct {
 		name string
 		got  time.Duration

@@ -1,0 +1,305 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"badabing/internal/health"
+)
+
+// pinnedFamilies is the metric surface the daemon exported before the
+// telemetry unification: every family the bespoke writers (fleet,
+// store, breaker, health, watchdog, reflector, admission) produced.
+// The refactor must keep each name, with its pre-refactor type, or it
+// silently breaks every dashboard built on the old exposition.
+var pinnedFamilies = map[string]string{
+	// fleet registry
+	"badabingd_sessions_active":           "gauge",
+	"badabingd_sessions":                  "gauge",
+	"badabingd_queue_depth":               "gauge",
+	"badabingd_workers":                   "gauge",
+	"badabingd_sessions_created_total":    "counter",
+	"badabingd_sessions_finished_total":   "counter",
+	"badabingd_probes_sent_total":         "counter",
+	"badabingd_probes_lost_total":         "counter",
+	"badabingd_packets_sent_total":        "counter",
+	"badabingd_packets_lost_total":        "counter",
+	"badabingd_experiments_total":         "counter",
+	"badabingd_session_retries_total":     "counter",
+	"badabingd_wire_write_failures_total": "counter",
+	"badabingd_session_loss_frequency":    "gauge",
+	"badabingd_session_experiments":       "gauge",
+	"badabingd_session_estimator":         "gauge",
+	// admission + health + watchdog
+	"badabingd_admission_shed_total":     "counter",
+	"badabingd_health_state":             "gauge",
+	"badabingd_health_component":         "gauge",
+	"badabingd_health_transitions_total": "counter",
+	"badabingd_watchdog_goroutines":      "gauge",
+	"badabingd_watchdog_heap_bytes":      "gauge",
+	// durable archive
+	"badabingd_store_bytes_written_total":       "counter",
+	"badabingd_store_records_written_total":     "counter",
+	"badabingd_store_records_replayed":          "gauge",
+	"badabingd_store_recovery_seconds":          "gauge",
+	"badabingd_store_torn_tails":                "gauge",
+	"badabingd_store_segments":                  "gauge",
+	"badabingd_store_segments_dropped_total":    "counter",
+	"badabingd_store_compactions_total":         "counter",
+	"badabingd_store_fsyncs_total":              "counter",
+	"badabingd_store_fsync_seconds_total":       "counter",
+	"badabingd_store_sessions":                  "gauge",
+	"badabingd_store_points":                    "gauge",
+	"badabingd_store_dropped_after_close_total": "counter",
+	"badabingd_store_write_errors_total":        "counter",
+	"badabingd_store_fsync_errors_total":        "counter",
+	// store circuit breaker
+	"badabingd_store_breaker_open":         "gauge",
+	"badabingd_store_breaker_trips_total":  "counter",
+	"badabingd_store_spill_depth":          "gauge",
+	"badabingd_store_spilled_total":        "counter",
+	"badabingd_store_spill_replayed_total": "counter",
+	"badabingd_store_spill_dropped_total":  "counter",
+	// co-hosted reflector
+	"badabingd_reflector_packets_total":       "counter",
+	"badabingd_reflector_pings_total":         "counter",
+	"badabingd_reflector_dropped_total":       "counter",
+	"badabingd_reflector_read_errors_total":   "counter",
+	"badabingd_reflector_shard_packets_total": "counter",
+	"badabingd_reflector_shard_pings_total":   "counter",
+	"badabingd_reflector_shard_dropped_total": "counter",
+}
+
+// TestMetricsConformance boots the full daemon — durable store, circuit
+// breaker, watchdog, co-hosted reflector — runs a session to completion
+// and validates the live /metrics body end to end: well-formed 0.0.4
+// text (one HELP/TYPE pair per family, sorted families, no duplicate
+// samples, _total families are counters) carrying at least every
+// pre-refactor family.
+func TestMetricsConformance(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-listen", "127.0.0.1:0",
+			"-data-dir", t.TempDir(),
+			"-reflect", "127.0.0.1:0",
+			"-max-concurrent", "2",
+		}, io.Discard, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	// One real session, with a bootstrap estimator so the interval
+	// gauges have data to mirror.
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(
+		`{"scenario":"cbr","slots":2000,"seed":7,`+
+			`"estimator":{"kind":"bootstrap","resamples":60,"block_len":20,"level":0.9,"seed":5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		ID       string `json:"id"`
+		State    string `json:"state"`
+		Snapshot struct {
+			Total struct {
+				HasDuration bool `json:"has_duration,omitempty"`
+			} `json:"total"`
+			FrequencyCI *struct{} `json:"frequency_ci,omitempty"`
+			DurationCI  *struct{} `json:"duration_ci,omitempty"`
+		} `json:"snapshot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for view.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("session stuck in %q", view.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		resp, err = http.Get(base + "/v1/sessions/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q, want text/plain; version=0.0.4", ct)
+	}
+
+	families := checkExposition(t, string(body))
+
+	// The refactor keeps the complete pre-unification surface, typed as
+	// before.
+	for name, typ := range pinnedFamilies {
+		got, ok := families[name]
+		if !ok {
+			t.Errorf("pinned family %s missing from /metrics", name)
+			continue
+		}
+		if got != typ {
+			t.Errorf("family %s is %s, want pinned type %s", name, got, typ)
+		}
+	}
+	// Families present only when their source has data follow the JSON
+	// API's view of the same session.
+	conditional := map[string]bool{
+		"badabingd_watchdog_open_fds":                   health.CountFDs() >= 0,
+		"badabingd_session_loss_frequency_ci_lo":        view.Snapshot.FrequencyCI != nil,
+		"badabingd_session_loss_frequency_ci_hi":        view.Snapshot.FrequencyCI != nil,
+		"badabingd_session_loss_duration_seconds":       view.Snapshot.Total.HasDuration,
+		"badabingd_session_loss_duration_ci_lo_seconds": view.Snapshot.DurationCI != nil,
+		"badabingd_session_loss_duration_ci_hi_seconds": view.Snapshot.DurationCI != nil,
+	}
+	for name, want := range conditional {
+		if _, ok := families[name]; ok != want {
+			t.Errorf("conditional family %s: present=%v, want %v", name, ok, want)
+		}
+	}
+	// The daemon's own self-metrics ride the same path.
+	for _, name := range []string{
+		"badabingd_http_requests_total",
+		"badabingd_http_request_seconds",
+		"badabingd_metrics_render_seconds",
+	} {
+		if _, ok := families[name]; !ok {
+			t.Errorf("self-metric family %s missing", name)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// checkExposition strictly validates a Prometheus 0.0.4 text body and
+// returns the family name → type map.
+func checkExposition(t *testing.T, text string) map[string]string {
+	t.Helper()
+	families := make(map[string]string)
+	var order []string
+	seen := make(map[string]bool) // full sample identity (name{labels})
+	var cur, curType string
+	helpSeen := make(map[string]bool)
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 || parts[3] == "" {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			if helpSeen[parts[2]] {
+				t.Fatalf("family %s has more than one HELP line", parts[2])
+			}
+			helpSeen[parts[2]] = true
+			cur, curType = parts[2], ""
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			name, typ := parts[2], parts[3]
+			if name != cur {
+				t.Fatalf("TYPE %s not directly after its HELP (current family %q)", name, cur)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("family %s has unknown type %q", name, typ)
+			}
+			if _, dup := families[name]; dup {
+				t.Fatalf("family %s declared twice", name)
+			}
+			if strings.HasSuffix(name, "_total") && typ != "counter" {
+				t.Errorf("family %s ends in _total but is a %s", name, typ)
+			}
+			families[name] = typ
+			order = append(order, name)
+			curType = typ
+			continue
+		}
+		// Sample line: name{labels} value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		id, val := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil && val != "+Inf" && val != "NaN" {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		name := id
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		if curType == "histogram" {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if cut, ok := strings.CutSuffix(name, suf); ok {
+					base = cut
+					break
+				}
+			}
+		}
+		if base != cur {
+			t.Fatalf("sample %q under family %q", line, cur)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate sample %q", id)
+		}
+		seen[id] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(order) {
+		t.Errorf("families not sorted: %v", order)
+	}
+	if len(order) == 0 {
+		t.Fatal("empty exposition")
+	}
+	return families
+}

@@ -60,6 +60,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "estimator: %-10s %.0f ns/observe, %.3f allocs/observe (%d observes)\n",
 			e.Kind, e.NsPerObserve, e.AllocsPerObserve, e.Observes)
 	}
+	if m := rep.Metrics; m != nil {
+		fmt.Fprintf(os.Stderr, "metrics:   render %.0fµs / %.1f allocs (%d families, %d samples, %d B); inc %.3f, observe %.3f allocs\n",
+			m.NsPerRender/1e3, m.AllocsPerRender, m.Families, m.Samples, m.BytesPerRender,
+			m.CounterIncAllocs, m.HistObserveAllocs)
+	}
 
 	// The allocation pin is machine-independent, so it gates every run,
 	// baseline or not: the basic and improved estimators' observe path
@@ -71,6 +76,13 @@ func main() {
 				e.Kind, e.AllocsPerObserve)
 			os.Exit(2)
 		}
+	}
+	// Same machine-independent pin for the telemetry hot path: metric
+	// updates on the serve/receive paths must never touch the heap.
+	if m := rep.Metrics; m != nil && (m.CounterIncAllocs > 0 || m.HistObserveAllocs > 0) {
+		fmt.Fprintf(os.Stderr, "benchx: REGRESSION: instrument updates allocate (inc %.3f, observe %.3f), want 0\n",
+			m.CounterIncAllocs, m.HistObserveAllocs)
+		os.Exit(2)
 	}
 
 	if *baseline == "" {
@@ -89,6 +101,20 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchx: gate ok: speedup %.2fx >= floor %.2fx (baseline %.2fx)\n",
 		rep.Reflector.Speedup, floor, base.Reflector.Speedup)
+
+	// Render allocations are pool-amortized and deterministic per
+	// registry shape, so they gate as a count against the committed
+	// baseline (+1 slack for pool warm-up jitter), not as wall time.
+	if m, bm := rep.Metrics, base.Metrics; m != nil && bm != nil {
+		ceiling := bm.AllocsPerRender*(1+*tolerance) + 1
+		if m.AllocsPerRender > ceiling {
+			fmt.Fprintf(os.Stderr, "benchx: REGRESSION: /metrics render allocates %.1f, ceiling %.1f (baseline %.1f)\n",
+				m.AllocsPerRender, ceiling, bm.AllocsPerRender)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchx: gate ok: render allocs %.1f <= ceiling %.1f (baseline %.1f)\n",
+			m.AllocsPerRender, ceiling, bm.AllocsPerRender)
+	}
 }
 
 func loadReport(path string) (benchx.Report, error) {

@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"badabing/internal/obs"
 	"badabing/internal/wire/gateway"
 )
 
@@ -33,9 +34,16 @@ func main() {
 	epDur := flag.Duration("episode-duration", 100*time.Millisecond, "loss-episode duration")
 	overload := flag.Float64("overload", 1.5, "cross-traffic overload factor during episodes")
 	seed := flag.Int64("seed", 1, "episode spacing seed")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log line encoding: text or json")
 	flag.Parse()
 	if *target == "" {
 		fmt.Fprintln(os.Stderr, "gateway: missing -target")
+		os.Exit(2)
+	}
+	log, err := obs.NewLoggerFlags(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gateway:", err)
 		os.Exit(2)
 	}
 	g, err := gateway.New(gateway.Config{
@@ -54,9 +62,9 @@ func main() {
 		os.Exit(1)
 	}
 	defer g.Close()
-	fmt.Printf("forwarding %v → %s at %d b/s, delay %v\n", g.Addr(), *target, *rate, *delay)
+	log.Info("forwarding", "listen", g.Addr(), "target", *target, "rate_bps", *rate, "delay", *delay)
 	if *epEvery > 0 {
-		fmt.Printf("loss episodes: every ≈%v for %v at %.1fx overload\n", *epEvery, *epDur, *overload)
+		log.Info("loss episodes enabled", "mean_spacing", *epEvery, "duration", *epDur, "overload", *overload)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -67,11 +75,11 @@ func main() {
 		select {
 		case <-ctx.Done():
 			fwd, drop, eps := g.Stats()
-			fmt.Printf("final: forwarded %d, dropped %d, episodes %d\n", fwd, drop, eps)
+			log.Info("final stats", "forwarded", fwd, "dropped", drop, "episodes", eps)
 			return
 		case <-tick.C:
 			fwd, drop, eps := g.Stats()
-			fmt.Printf("forwarded %d, dropped %d, episodes %d\n", fwd, drop, eps)
+			log.Info("stats", "forwarded", fwd, "dropped", drop, "episodes", eps)
 		}
 	}
 }

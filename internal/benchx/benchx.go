@@ -92,6 +92,9 @@ type Report struct {
 	// Estimators is the streaming estimation stage: observe-path cost
 	// per estimator kind.
 	Estimators []EstimatorBench `json:"estimators,omitempty"`
+	// Metrics is the observability stage: /metrics render cost and
+	// hot-path instrument allocation pins over a daemon-shaped registry.
+	Metrics *MetricsBench `json:"metrics,omitempty"`
 }
 
 // ReflectorBench compares echo-loop throughput between the batched
@@ -160,6 +163,11 @@ func RunAll(opts Options) (Report, error) {
 	if rep.Estimators, err = RunEstimatorBench(opts); err != nil {
 		return rep, fmt.Errorf("estimator bench: %w", err)
 	}
+	mb, err := RunMetricsBench(opts)
+	if err != nil {
+		return rep, fmt.Errorf("metrics bench: %w", err)
+	}
+	rep.Metrics = &mb
 	return rep, nil
 }
 

@@ -51,6 +51,17 @@ func TestRunAllProducesCoherentReport(t *testing.T) {
 		}
 	}
 
+	if m := rep.Metrics; m == nil {
+		t.Error("metrics stage missing from report")
+	} else {
+		if m.Families == 0 || m.Samples == 0 || m.NsPerRender <= 0 || m.BytesPerRender == 0 {
+			t.Errorf("metrics stage empty: %+v", m)
+		}
+		if m.CounterIncAllocs != 0 || m.HistObserveAllocs != 0 {
+			t.Errorf("instrument updates allocate (inc %.3f, observe %.3f), want 0", m.CounterIncAllocs, m.HistObserveAllocs)
+		}
+	}
+
 	// The report must round-trip through its wire format.
 	buf, err := json.Marshal(rep)
 	if err != nil {

@@ -1,0 +1,153 @@
+package benchx
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"badabing/internal/obs"
+)
+
+// MetricsBench is the cost of the one exposition path every subsystem
+// now shares: how long one /metrics render of a daemon-shaped registry
+// takes, how many heap allocations it performs, and how many the
+// hot-path instrument updates (counter inc, histogram observe) perform.
+// The instrument figures must be zero — those updates sit on the probe
+// receive and HTTP serve paths — and cmd/benchx gates on them; render
+// allocations are gated against the committed baseline because the
+// render path amortizes through buffer pools, not by never allocating.
+type MetricsBench struct {
+	Families          int     `json:"families"`
+	Samples           int     `json:"samples"`
+	Renders           int     `json:"renders"`
+	NsPerRender       float64 `json:"ns_per_render"`
+	BytesPerRender    int     `json:"bytes_per_render"`
+	AllocsPerRender   float64 `json:"allocs_per_render"`
+	CounterIncAllocs  float64 `json:"counter_inc_allocs"`
+	HistObserveAllocs float64 `json:"hist_observe_allocs"`
+}
+
+// metricsRenders sizes the render timing loop.
+func metricsRenders(opts Options) int {
+	if opts.Short {
+		return 300
+	}
+	return 1500
+}
+
+// countingWriter tallies rendered bytes without retaining them.
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// RunMetricsBench measures the exposition render over a registry shaped
+// like a loaded daemon's: the full static family surface plus per-route
+// HTTP histograms, per-shard reflector counters and a 64-session fleet.
+func RunMetricsBench(opts Options) (MetricsBench, error) {
+	opts.applyDefaults()
+	o := obs.NewRegistry()
+
+	// Static families standing in for the store/breaker/health/watchdog
+	// surface: ~40 families of counters and gauges.
+	counters := make([]obs.Counter, 24)
+	for i := range counters {
+		counters[i] = o.Counter(fmt.Sprintf("bench_static_%02d_total", i), "Synthetic counter family.")
+		counters[i].Add(uint64(i * 17))
+	}
+	gauges := make([]obs.Gauge, 16)
+	for i := range gauges {
+		gauges[i] = o.Gauge(fmt.Sprintf("bench_gauge_%02d", i), "Synthetic gauge family.")
+		gauges[i].Set(float64(i) * 1.5)
+	}
+
+	// Per-route HTTP self-metrics: 12 routes x 5 status classes plus a
+	// latency histogram per route.
+	requests := o.CounterVec("bench_http_requests_total", "Synthetic request counter.", "route", "code")
+	latency := o.HistogramVec("bench_http_request_seconds", "Synthetic latency histogram.", nil, "route")
+	routes := []string{"create", "list", "get", "snapshot", "history", "store_stats", "stop", "delete", "metrics", "healthz", "readyz", "other"}
+	var hot obs.Counter
+	var hotHist obs.Histogram
+	for _, route := range routes {
+		for _, code := range []string{"1xx", "2xx", "3xx", "4xx", "5xx"} {
+			requests.With(route, code).Inc()
+		}
+		h := latency.With(route)
+		for i := 0; i < 32; i++ {
+			h.Observe(float64(i) / 997)
+		}
+		hot = requests.With(route, "2xx")
+		hotHist = h
+	}
+
+	// Per-shard reflector counters and a 64-session fleet of gauges.
+	shardPackets := o.CounterVec("bench_shard_packets_total", "Synthetic per-shard counter.", "shard")
+	for i := 0; i < 8; i++ {
+		shardPackets.With(strconv.Itoa(i)).Add(uint64(i) * 1000)
+	}
+	freq := o.GaugeVec("bench_session_frequency", "Synthetic per-session gauge.", "session")
+	m := o.GaugeVec("bench_session_experiments", "Synthetic per-session gauge.", "session")
+	for i := 0; i < 64; i++ {
+		id := fmt.Sprintf("s%04d", i)
+		freq.With(id).Set(float64(i) / 997)
+		m.With(id).SetInt(int64(i * 31))
+	}
+
+	mb := MetricsBench{Renders: metricsRenders(opts), Families: len(o.Families())}
+
+	var cw countingWriter
+	if err := o.Write(&cw); err != nil {
+		return mb, err
+	}
+	mb.BytesPerRender = cw.n
+
+	// Warm the render buffer pool, then time.
+	for i := 0; i < 8; i++ {
+		var w countingWriter
+		if err := o.Write(&w); err != nil {
+			return mb, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < mb.Renders; i++ {
+		var w countingWriter
+		if err := o.Write(&w); err != nil {
+			return mb, err
+		}
+	}
+	mb.NsPerRender = float64(time.Since(start).Nanoseconds()) / float64(mb.Renders)
+
+	mb.AllocsPerRender = testing.AllocsPerRun(64, func() {
+		var w countingWriter
+		o.Write(&w)
+	})
+	mb.CounterIncAllocs = testing.AllocsPerRun(10_000, hot.Inc)
+	v := 0
+	mb.HistObserveAllocs = testing.AllocsPerRun(10_000, func() {
+		hotHist.Observe(float64(v) / 997)
+		v++
+	})
+
+	// Samples: every rendered line is either a sample or one of the two
+	// comment lines per family; approximate from the first render.
+	mb.Samples = countSamples(o)
+	return mb, nil
+}
+
+// countSamples renders once and counts sample (non-comment) lines.
+func countSamples(o *obs.Registry) int {
+	var buf bytes.Buffer
+	o.Write(&buf)
+	n := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package chaos_test
 
 import (
+	"bytes"
 	"runtime"
 	"testing"
 	"time"
@@ -8,8 +9,18 @@ import (
 	"badabing/internal/chaos"
 	"badabing/internal/fleet"
 	"badabing/internal/health"
+	"badabing/internal/obs"
 	"badabing/internal/store"
 )
+
+// tlogWriter forwards each structured log line to t.Logf so soak
+// transitions land in the test output.
+type tlogWriter struct{ t *testing.T }
+
+func (w tlogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // TestSoakSelfHealing is the supervised soak harness: N wire sessions
 // measure real loopback paths while the harness injects the failures
@@ -47,12 +58,13 @@ func TestSoakSelfHealing(t *testing.T) {
 		t.Fatal(err)
 	}
 	faulty := chaos.NewFaultySink(st)
-	mon := health.NewMonitor(t.Logf)
+	log := obs.NewLogger(tlogWriter{t}, obs.LoggerConfig{})
+	mon := health.NewMonitor(log)
 	breaker := fleet.NewBreakerSink(faulty, fleet.BreakerConfig{
 		Threshold:     2,
 		ProbeInterval: 25 * time.Millisecond,
 		Health:        mon,
-		Logf:          t.Logf,
+		Log:           log,
 	})
 	wd := health.NewWatchdog(mon, health.Budgets{
 		MaxGoroutines: 10_000,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"badabing/internal/health"
+	"badabing/internal/obs"
 	"badabing/internal/store"
 )
 
@@ -51,8 +52,9 @@ type BreakerConfig struct {
 	// StoreComponent: ok (closed), degraded (open, spilling), failing
 	// (spill overflowed).
 	Health *health.Monitor
-	// Logf receives one line per state transition (nil discards).
-	Logf func(format string, args ...any)
+	// Log receives one structured line per state transition (nil
+	// discards).
+	Log *obs.Logger
 }
 
 func (c *BreakerConfig) applyDefaults() {
@@ -64,9 +66,6 @@ func (c *BreakerConfig) applyDefaults() {
 	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = time.Second
-	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
 	}
 }
 
@@ -205,7 +204,8 @@ func (b *BreakerSink) noteFailureLocked(err error) {
 	if b.state == BreakerClosed && b.fails >= b.cfg.Threshold {
 		b.state = BreakerOpen
 		b.trips.Add(1)
-		b.cfg.Logf("store breaker: open after %d consecutive failures: %v", b.fails, err)
+		b.cfg.Log.Error("store breaker open",
+			"consecutive_failures", b.fails, "err", err)
 		b.reportHealth()
 	}
 }
@@ -215,7 +215,8 @@ func (b *BreakerSink) noteFailureLocked(err error) {
 func (b *BreakerSink) spillLocked(ev spillEvent) {
 	if len(b.spill) >= b.cfg.SpillCapacity {
 		if b.dropped.Add(1) == 1 {
-			b.cfg.Logf("store breaker: spill buffer full (%d events); dropping history", b.cfg.SpillCapacity)
+			b.cfg.Log.Error("store breaker spill full; dropping history",
+				"capacity", b.cfg.SpillCapacity)
 			b.reportHealth()
 		}
 		return
@@ -293,7 +294,7 @@ func (b *BreakerSink) drainLocked() bool {
 	b.depth.Store(0)
 	if b.state == BreakerOpen {
 		b.state = BreakerClosed
-		b.cfg.Logf("store breaker: closed (replayed %d spilled events)", replayedNow)
+		b.cfg.Log.Info("store breaker closed", "replayed", replayedNow)
 		b.reportHealth()
 	}
 	return b.state == BreakerClosed
@@ -368,22 +369,28 @@ func (b *BreakerSink) State() BreakerState {
 	return b.state
 }
 
-// WriteMetrics renders the breaker's metric families for /metrics.
-func (b *BreakerSink) WriteMetrics(w io.Writer) {
-	st := b.Stats()
-	emit := func(name, kind, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, kind, name, v)
-	}
-	open := 0.0
-	if st.State == "open" {
-		open = 1
-	}
-	emit("badabingd_store_breaker_open", "gauge", "1 while the store circuit breaker is open (WAL writes failing, events spilling to memory).", open)
-	emit("badabingd_store_breaker_trips_total", "counter", "Times the store circuit breaker tripped open.", float64(st.Trips))
-	emit("badabingd_store_spill_depth", "gauge", "Events currently buffered in the breaker's in-memory spill.", float64(st.SpillDepth))
-	emit("badabingd_store_spilled_total", "counter", "Events ever diverted to the in-memory spill.", float64(st.Spilled))
-	emit("badabingd_store_spill_replayed_total", "counter", "Spilled events replayed into the WAL after recovery.", float64(st.Replayed))
-	emit("badabingd_store_spill_dropped_total", "counter", "Events dropped because the spill buffer was full (permanent history loss).", float64(st.Dropped))
+// RegisterMetrics registers the breaker's metric families; each scrape
+// mirrors a Stats snapshot.
+func (b *BreakerSink) RegisterMetrics(o *obs.Registry) {
+	open := o.Gauge("badabingd_store_breaker_open", "1 while the store circuit breaker is open (WAL writes failing, events spilling to memory).")
+	trips := o.Counter("badabingd_store_breaker_trips_total", "Times the store circuit breaker tripped open.")
+	depth := o.Gauge("badabingd_store_spill_depth", "Events currently buffered in the breaker's in-memory spill.")
+	spilled := o.Counter("badabingd_store_spilled_total", "Events ever diverted to the in-memory spill.")
+	replayed := o.Counter("badabingd_store_spill_replayed_total", "Spilled events replayed into the WAL after recovery.")
+	dropped := o.Counter("badabingd_store_spill_dropped_total", "Events dropped because the spill buffer was full (permanent history loss).")
+	o.OnScrape(func() {
+		st := b.Stats()
+		if st.State == "open" {
+			open.SetInt(1)
+		} else {
+			open.SetInt(0)
+		}
+		trips.Set(float64(st.Trips))
+		depth.SetInt(st.SpillDepth)
+		spilled.Set(float64(st.Spilled))
+		replayed.Set(float64(st.Replayed))
+		dropped.Set(float64(st.Dropped))
+	})
 }
 
 // Close stops the probe loop, makes a final replay attempt and closes
@@ -396,7 +403,7 @@ func (b *BreakerSink) Close() error {
 	b.mu.Lock()
 	if n := len(b.spill); n > 0 {
 		b.dropped.Add(int64(n))
-		b.cfg.Logf("store breaker: closing with %d unreplayed spilled events (lost)", n)
+		b.cfg.Log.Warn("store breaker closing with unreplayed spill; events lost", "events", n)
 		b.spill = nil
 		b.depth.Store(0)
 	}

@@ -203,10 +203,18 @@ func parsePrometheus(t *testing.T, text string) map[string]float64 {
 				t.Fatalf("malformed comment line %q", line)
 			}
 			if parts[1] == "TYPE" {
-				if parts[3] != "counter" && parts[3] != "gauge" {
+				switch parts[3] {
+				case "counter", "gauge":
+					typed[parts[2]] = true
+				case "histogram":
+					// Histogram samples append _bucket/_sum/_count to
+					// the family name.
+					typed[parts[2]+"_bucket"] = true
+					typed[parts[2]+"_sum"] = true
+					typed[parts[2]+"_count"] = true
+				default:
 					t.Fatalf("unknown metric type in %q", line)
 				}
-				typed[parts[2]] = true
 			}
 			continue
 		}

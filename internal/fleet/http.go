@@ -4,13 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"badabing/internal/health"
+	"badabing/internal/obs"
 	"badabing/internal/store"
 )
 
@@ -37,16 +36,25 @@ type HandlerOptions struct {
 	// registry-full 429s; rate-limit 429s compute their own from the
 	// bucket). Default 5s.
 	RetryAfter time.Duration
+	// Obs is the observability registry backing GET /metrics. Every
+	// subsystem's instruments registered into it are rendered by the
+	// one exposition path; nil gets a private registry holding just
+	// this handler's and the fleet registry's families.
+	Obs *obs.Registry
 }
 
-// api is one handler instance: registry + options + shed counters.
+// api is one handler instance: registry + options + self-instruments.
 type api struct {
 	reg  *Registry
 	opts HandlerOptions
 
-	shedNotReady atomic.Int64
-	shedQueue    atomic.Int64
-	shedRate     atomic.Int64
+	shedNotReady obs.Counter
+	shedQueue    obs.Counter
+	shedRate     obs.Counter
+
+	httpRequests obs.CounterVec
+	httpLatency  obs.HistogramVec
+	renderTime   obs.Histogram
 }
 
 // NewHandler returns the daemon's HTTP API for a registry:
@@ -71,30 +79,52 @@ type api struct {
 // 500s; oversized bodies are cut off at 1 MiB (413); a draining
 // registry answers 503. Shed responses (503 not-ready/queue-full/
 // draining, 429 rate-limited/registry-full) always carry Retry-After.
-//
-// extra metric sources (e.g. a co-hosted reflector's counters) are
-// appended to the /metrics exposition.
-func NewHandler(r *Registry, extra ...func(io.Writer)) http.Handler {
-	return NewHandlerOpts(r, HandlerOptions{}, extra...)
+func NewHandler(r *Registry) http.Handler {
+	return NewHandlerOpts(r, HandlerOptions{})
 }
 
 // NewHandlerOpts is NewHandler with the self-protection layer
-// configured: deep readiness, queue-depth shedding and per-client rate
-// limiting on session creates.
-func NewHandlerOpts(r *Registry, opts HandlerOptions, extra ...func(io.Writer)) http.Handler {
+// configured (deep readiness, queue-depth shedding and per-client rate
+// limiting on session creates) and an explicit observability registry.
+// The fleet registry's families, the health monitor's (when set), the
+// admission shed counters and the daemon's HTTP self-metrics are all
+// registered here; GET /metrics renders opts.Obs and nothing else.
+func NewHandlerOpts(r *Registry, opts HandlerOptions) http.Handler {
 	if opts.RetryAfter <= 0 {
 		opts.RetryAfter = 5 * time.Second
 	}
+	if opts.Obs == nil {
+		opts.Obs = obs.NewRegistry()
+	}
 	a := &api{reg: r, opts: opts}
+	r.RegisterMetrics(opts.Obs)
+	if opts.Health != nil {
+		opts.Health.RegisterMetrics(opts.Obs)
+	}
+	shed := opts.Obs.CounterVec("badabingd_admission_shed_total",
+		"Session creates shed by the overload-protection layer, by reason.", "reason")
+	a.shedNotReady = shed.With("not_ready")
+	a.shedQueue = shed.With("queue_full")
+	a.shedRate = shed.With("rate_limited")
+	a.httpRequests = opts.Obs.CounterVec("badabingd_http_requests_total",
+		"API requests served, by route and status class.", "route", "code")
+	a.httpLatency = opts.Obs.HistogramVec("badabingd_http_request_seconds",
+		"API request handling latency, by route.", nil, "route")
+	a.renderTime = opts.Obs.Histogram("badabingd_metrics_render_seconds",
+		"Time spent rendering the /metrics exposition.", nil)
+
 	mux := http.NewServeMux()
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, a.instrument(route, h))
+	}
 
 	// Every unmatched path falls through here: the API's 404s are JSON
 	// on every route, not just the ones with a {id} lookup.
-	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+	handle("/", "other", func(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("not found"))
 	})
 
-	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
+	handle("POST /v1/sessions", "create", func(w http.ResponseWriter, req *http.Request) {
 		if !a.admit(w, req) {
 			return
 		}
@@ -131,7 +161,7 @@ func NewHandlerOpts(r *Registry, opts HandlerOptions, extra ...func(io.Writer)) 
 		writeJSON(w, http.StatusCreated, s.View())
 	})
 
-	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, req *http.Request) {
+	handle("GET /v1/sessions", "list", func(w http.ResponseWriter, req *http.Request) {
 		sessions := r.List()
 		views := make([]View, len(sessions))
 		for i, s := range sessions {
@@ -140,7 +170,7 @@ func NewHandlerOpts(r *Registry, opts HandlerOptions, extra ...func(io.Writer)) 
 		writeJSON(w, http.StatusOK, map[string]any{"sessions": views})
 	})
 
-	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, req *http.Request) {
+	handle("GET /v1/sessions/{id}", "get", func(w http.ResponseWriter, req *http.Request) {
 		s, err := r.Get(req.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
@@ -149,7 +179,7 @@ func NewHandlerOpts(r *Registry, opts HandlerOptions, extra ...func(io.Writer)) 
 		writeJSON(w, http.StatusOK, s.View())
 	})
 
-	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", func(w http.ResponseWriter, req *http.Request) {
+	handle("GET /v1/sessions/{id}/snapshot", "snapshot", func(w http.ResponseWriter, req *http.Request) {
 		s, err := r.Get(req.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
@@ -162,7 +192,7 @@ func NewHandlerOpts(r *Registry, opts HandlerOptions, extra ...func(io.Writer)) 
 		})
 	})
 
-	mux.HandleFunc("GET /v1/sessions/{id}/history", func(w http.ResponseWriter, req *http.Request) {
+	handle("GET /v1/sessions/{id}/history", "history", func(w http.ResponseWriter, req *http.Request) {
 		s, err := r.Get(req.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
@@ -194,7 +224,7 @@ func NewHandlerOpts(r *Registry, opts HandlerOptions, extra ...func(io.Writer)) 
 		writeJSON(w, http.StatusOK, resp)
 	})
 
-	mux.HandleFunc("GET /v1/store/stats", func(w http.ResponseWriter, req *http.Request) {
+	handle("GET /v1/store/stats", "store_stats", func(w http.ResponseWriter, req *http.Request) {
 		if ss := r.StatsSourceOf(); ss != nil {
 			writeJSON(w, http.StatusOK, storeStatsResponse{Enabled: true, Stats: ptr(ss.Stats())})
 			return
@@ -202,7 +232,7 @@ func NewHandlerOpts(r *Registry, opts HandlerOptions, extra ...func(io.Writer)) 
 		writeJSON(w, http.StatusOK, storeStatsResponse{Enabled: false})
 	})
 
-	mux.HandleFunc("POST /v1/sessions/{id}/stop", func(w http.ResponseWriter, req *http.Request) {
+	handle("POST /v1/sessions/{id}/stop", "stop", func(w http.ResponseWriter, req *http.Request) {
 		s, err := r.Stop(req.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
@@ -211,7 +241,7 @@ func NewHandlerOpts(r *Registry, opts HandlerOptions, extra ...func(io.Writer)) 
 		writeJSON(w, http.StatusOK, s.View())
 	})
 
-	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, req *http.Request) {
+	handle("DELETE /v1/sessions/{id}", "delete", func(w http.ResponseWriter, req *http.Request) {
 		err := r.Delete(req.PathValue("id"))
 		switch {
 		case errors.Is(err, ErrNotFound):
@@ -225,27 +255,58 @@ func NewHandlerOpts(r *Registry, opts HandlerOptions, extra ...func(io.Writer)) 
 		}
 	})
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+	handle("GET /metrics", "metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WriteMetrics(w, r)
-		if opts.Health != nil {
-			opts.Health.WriteMetrics(w)
-		}
-		if opts.Health != nil || opts.Limiter != nil || opts.MaxPending > 0 {
-			a.writeShedMetrics(w)
-		}
-		for _, f := range extra {
-			f(w)
-		}
+		start := time.Now()
+		opts.Obs.Write(w)
+		// Observed after the render, so each scrape reports the cost of
+		// the previous one — standard self-metric lag.
+		a.renderTime.Observe(time.Since(start).Seconds())
 	})
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+	handle("GET /healthz", "healthz", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 
-	mux.HandleFunc("GET /readyz", a.readyz)
+	handle("GET /readyz", "readyz", a.readyz)
 
 	return mux
+}
+
+// statusRecorder captures the status code a handler writes so the
+// instrumentation middleware can label the request counter by class.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// codeClasses are the status-class label values, indexed by code/100.
+var codeClasses = [6]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// instrument wraps a handler with the daemon's HTTP self-metrics: a
+// per-route latency histogram and a per-route, per-status-class request
+// counter. The per-route children are bound once here, at registration,
+// so the per-request cost is two atomic updates — no label formatting.
+func (a *api) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	latency := a.httpLatency.With(route)
+	var byClass [6]obs.Counter
+	for i := 1; i < len(codeClasses); i++ {
+		byClass[i] = a.httpRequests.With(route, codeClasses[i])
+	}
+	return func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		rec := statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(&rec, req)
+		latency.Observe(time.Since(start).Seconds())
+		if class := rec.status / 100; class >= 1 && class < len(byClass) {
+			byClass[class].Inc()
+		}
+	}
 }
 
 // admit applies the create endpoint's shedding policy, in order of
@@ -255,14 +316,14 @@ func NewHandlerOpts(r *Registry, opts HandlerOptions, extra ...func(io.Writer)) 
 // hammering.
 func (a *api) admit(w http.ResponseWriter, req *http.Request) bool {
 	if a.opts.Health != nil && a.opts.Health.State() == health.Failing {
-		a.shedNotReady.Add(1)
+		a.shedNotReady.Inc()
 		setRetryAfter(w, a.opts.RetryAfter)
 		writeError(w, http.StatusServiceUnavailable, errors.New("fleet: daemon failing; not accepting sessions"))
 		return false
 	}
 	if a.opts.MaxPending > 0 {
 		if pending := a.reg.StateCounts()[Pending]; pending >= a.opts.MaxPending {
-			a.shedQueue.Add(1)
+			a.shedQueue.Inc()
 			setRetryAfter(w, a.opts.RetryAfter)
 			writeError(w, http.StatusServiceUnavailable,
 				fmt.Errorf("fleet: %d sessions already pending; retry later", pending))
@@ -271,7 +332,7 @@ func (a *api) admit(w http.ResponseWriter, req *http.Request) bool {
 	}
 	if a.opts.Limiter != nil {
 		if ok, wait := a.opts.Limiter.Allow(clientKey(req.RemoteAddr)); !ok {
-			a.shedRate.Add(1)
+			a.shedRate.Inc()
 			setRetryAfter(w, wait)
 			writeError(w, http.StatusTooManyRequests, errors.New("fleet: per-client session create rate exceeded"))
 			return false
@@ -313,15 +374,6 @@ func (a *api) readyz(w http.ResponseWriter, req *http.Request) {
 		setRetryAfter(w, a.opts.RetryAfter)
 	}
 	writeJSON(w, status, resp)
-}
-
-// writeShedMetrics renders the admission counters.
-func (a *api) writeShedMetrics(w io.Writer) {
-	fmt.Fprintf(w, "# HELP badabingd_admission_shed_total Session creates shed by the overload-protection layer, by reason.\n")
-	fmt.Fprintf(w, "# TYPE badabingd_admission_shed_total counter\n")
-	fmt.Fprintf(w, "badabingd_admission_shed_total{reason=\"not_ready\"} %d\n", a.shedNotReady.Load())
-	fmt.Fprintf(w, "badabingd_admission_shed_total{reason=\"queue_full\"} %d\n", a.shedQueue.Load())
-	fmt.Fprintf(w, "badabingd_admission_shed_total{reason=\"rate_limited\"} %d\n", a.shedRate.Load())
 }
 
 // setRetryAfter sets the Retry-After hint, always at least 1 second —

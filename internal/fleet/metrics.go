@@ -1,101 +1,84 @@
 package fleet
 
 import (
-	"fmt"
-	"io"
+	"badabing/internal/obs"
 )
 
-// WriteMetrics renders the registry's state in the Prometheus text
-// exposition format (version 0.0.4). It is hand-rolled — the repository
-// takes no dependencies — but emits well-formed families: HELP/TYPE
-// headers, escaped label values, one sample per line.
-func WriteMetrics(w io.Writer, r *Registry) {
-	t := r.Totals()
-	counts := r.StateCounts()
-
-	gauge(w, "badabingd_sessions_active", "Sessions currently measuring.",
-		sample{value: float64(counts[Running])})
-	rows := make([]sample, 0, len(states))
-	for _, st := range states {
-		rows = append(rows, sample{labels: lbl("state", st.String()), value: float64(counts[st])})
+// RegisterMetrics registers the fleet registry's instrument families
+// into the observability registry. Lifetime totals and per-session
+// estimate gauges are pull-style: each scrape mirrors the registry's
+// authoritative counters and live snapshots, so /metrics always shows
+// the same numbers the JSON API does.
+func (r *Registry) RegisterMetrics(o *obs.Registry) {
+	active := o.Gauge("badabingd_sessions_active", "Sessions currently measuring.")
+	byState := o.GaugeVec("badabingd_sessions", "Registered sessions by lifecycle state.", "state")
+	stateRows := make([]obs.Gauge, len(states))
+	for i, st := range states {
+		stateRows[i] = byState.With(st.String())
 	}
-	gauge(w, "badabingd_sessions", "Registered sessions by lifecycle state.", rows...)
-	gauge(w, "badabingd_queue_depth", "Sessions waiting for a worker slot.",
-		sample{labels: lbl("queue", "pending"), value: float64(counts[Pending])})
-	gauge(w, "badabingd_workers", "Concurrent session bound.",
-		sample{value: float64(r.Workers())})
+	queue := o.GaugeVec("badabingd_queue_depth", "Sessions waiting for a worker slot.", "queue").With("pending")
+	workers := o.Gauge("badabingd_workers", "Concurrent session bound.")
 
-	counter(w, "badabingd_sessions_created_total", "Sessions ever created.", float64(t.SessionsCreated))
-	counter(w, "badabingd_sessions_finished_total", "Sessions ever finished (done, failed or stopped).", float64(t.SessionsFinished))
-	counter(w, "badabingd_probes_sent_total", "Probes sent across all sessions.", float64(t.ProbesSent))
-	counter(w, "badabingd_probes_lost_total", "Probes that lost at least one packet.", float64(t.ProbesLost))
-	counter(w, "badabingd_packets_sent_total", "Probe packets sent across all sessions.", float64(t.PacketsSent))
-	counter(w, "badabingd_packets_lost_total", "Probe packets lost across all sessions.", float64(t.PacketsLost))
-	counter(w, "badabingd_experiments_total", "Experiment outcomes fed to the estimators.", float64(t.Experiments))
-	counter(w, "badabingd_session_retries_total", "Failed sessions re-queued by the retry policy.", float64(t.SessionRetries))
-	counter(w, "badabingd_wire_write_failures_total", "Probe-socket write errors across wire sessions.", float64(t.WriteFailures))
+	created := o.Counter("badabingd_sessions_created_total", "Sessions ever created.")
+	finished := o.Counter("badabingd_sessions_finished_total", "Sessions ever finished (done, failed or stopped).")
+	probesSent := o.Counter("badabingd_probes_sent_total", "Probes sent across all sessions.")
+	probesLost := o.Counter("badabingd_probes_lost_total", "Probes that lost at least one packet.")
+	packetsSent := o.Counter("badabingd_packets_sent_total", "Probe packets sent across all sessions.")
+	packetsLost := o.Counter("badabingd_packets_lost_total", "Probe packets lost across all sessions.")
+	experiments := o.Counter("badabingd_experiments_total", "Experiment outcomes fed to the estimators.")
+	retries := o.Counter("badabingd_session_retries_total", "Failed sessions re-queued by the retry policy.")
+	writeFailures := o.Counter("badabingd_wire_write_failures_total", "Probe-socket write errors across wire sessions.")
 
-	var freq, dur, m, kind []sample
-	var freqLo, freqHi, durLo, durHi []sample
-	for _, s := range r.List() {
-		snap := s.Snapshot()
-		labels := lbl("session", s.ID)
-		freq = append(freq, sample{labels: labels, value: snap.Total.Frequency})
-		if snap.Total.HasDuration {
-			dur = append(dur, sample{labels: labels, value: snap.Total.Duration})
+	freq := o.GaugeVec("badabingd_session_loss_frequency", "Per-session loss-episode frequency estimate F̂.", "session")
+	freqLo := o.GaugeVec("badabingd_session_loss_frequency_ci_lo", "Lower bootstrap confidence bound on F̂.", "session")
+	freqHi := o.GaugeVec("badabingd_session_loss_frequency_ci_hi", "Upper bootstrap confidence bound on F̂.", "session")
+	dur := o.GaugeVec("badabingd_session_loss_duration_seconds", "Per-session mean loss-episode duration estimate D̂.", "session")
+	durLo := o.GaugeVec("badabingd_session_loss_duration_ci_lo_seconds", "Lower bootstrap confidence bound on D̂.", "session")
+	durHi := o.GaugeVec("badabingd_session_loss_duration_ci_hi_seconds", "Upper bootstrap confidence bound on D̂.", "session")
+	m := o.GaugeVec("badabingd_session_experiments", "Per-session experiments observed.", "session")
+	kind := o.GaugeVec("badabingd_session_estimator", "Estimator kind per session (info metric, value always 1).", "session", "kind")
+
+	perSession := []interface{ Reset() }{freq, freqLo, freqHi, dur, durLo, durHi, m, kind}
+
+	o.OnScrape(func() {
+		t := r.Totals()
+		counts := r.StateCounts()
+		active.SetInt(int64(counts[Running]))
+		for i, st := range states {
+			stateRows[i].SetInt(int64(counts[st]))
 		}
-		m = append(m, sample{labels: labels, value: float64(snap.Total.M)})
-		kind = append(kind, sample{labels: lbl2("session", s.ID, "kind", snap.Kind), value: 1})
-		if ci := snap.FrequencyCI; ci != nil {
-			freqLo = append(freqLo, sample{labels: labels, value: ci.Lo})
-			freqHi = append(freqHi, sample{labels: labels, value: ci.Hi})
+		queue.SetInt(int64(counts[Pending]))
+		workers.SetInt(int64(r.Workers()))
+
+		created.Set(float64(t.SessionsCreated))
+		finished.Set(float64(t.SessionsFinished))
+		probesSent.Set(float64(t.ProbesSent))
+		probesLost.Set(float64(t.ProbesLost))
+		packetsSent.Set(float64(t.PacketsSent))
+		packetsLost.Set(float64(t.PacketsLost))
+		experiments.Set(float64(t.Experiments))
+		retries.Set(float64(t.SessionRetries))
+		writeFailures.Set(float64(t.WriteFailures))
+
+		for _, v := range perSession {
+			v.Reset()
 		}
-		if ci := snap.DurationCI; ci != nil {
-			durLo = append(durLo, sample{labels: labels, value: ci.Lo})
-			durHi = append(durHi, sample{labels: labels, value: ci.Hi})
+		for _, s := range r.List() {
+			snap := s.Snapshot()
+			freq.With(s.ID).Set(snap.Total.Frequency)
+			if snap.Total.HasDuration {
+				dur.With(s.ID).Set(snap.Total.Duration)
+			}
+			m.With(s.ID).SetInt(int64(snap.Total.M))
+			kind.With(s.ID, snap.Kind).SetInt(1)
+			if ci := snap.FrequencyCI; ci != nil {
+				freqLo.With(s.ID).Set(ci.Lo)
+				freqHi.With(s.ID).Set(ci.Hi)
+			}
+			if ci := snap.DurationCI; ci != nil {
+				durLo.With(s.ID).Set(ci.Lo)
+				durHi.With(s.ID).Set(ci.Hi)
+			}
 		}
-	}
-	gauge(w, "badabingd_session_loss_frequency", "Per-session loss-episode frequency estimate F̂.", freq...)
-	gauge(w, "badabingd_session_loss_frequency_ci_lo", "Lower bootstrap confidence bound on F̂.", freqLo...)
-	gauge(w, "badabingd_session_loss_frequency_ci_hi", "Upper bootstrap confidence bound on F̂.", freqHi...)
-	gauge(w, "badabingd_session_loss_duration_seconds", "Per-session mean loss-episode duration estimate D̂.", dur...)
-	gauge(w, "badabingd_session_loss_duration_ci_lo_seconds", "Lower bootstrap confidence bound on D̂.", durLo...)
-	gauge(w, "badabingd_session_loss_duration_ci_hi_seconds", "Upper bootstrap confidence bound on D̂.", durHi...)
-	gauge(w, "badabingd_session_experiments", "Per-session experiments observed.", m...)
-	gauge(w, "badabingd_session_estimator", "Estimator kind per session (info metric, value always 1).", kind...)
-}
-
-type sample struct {
-	labels string
-	value  float64
-}
-
-// lbl renders a single-label set. %q provides exactly the exposition
-// format's escapes: backslash, double quote and newline.
-func lbl(k, v string) string {
-	return fmt.Sprintf(`{%s=%q}`, k, v)
-}
-
-// lbl2 renders a two-label set (the info-metric shape).
-func lbl2(k1, v1, k2, v2 string) string {
-	return fmt.Sprintf(`{%s=%q,%s=%q}`, k1, v1, k2, v2)
-}
-
-func family(w io.Writer, name, kind, help string, samples []sample) {
-	if len(samples) == 0 {
-		return
-	}
-	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
-	fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
-	for _, s := range samples {
-		fmt.Fprintf(w, "%s%s %v\n", name, s.labels, s.value)
-	}
-}
-
-func gauge(w io.Writer, name, help string, samples ...sample) {
-	family(w, name, "gauge", help, samples)
-}
-
-func counter(w io.Writer, name, help string, value float64) {
-	family(w, name, "counter", help, []sample{{value: value}})
+	})
 }

@@ -23,12 +23,11 @@
 package health
 
 import (
-	"fmt"
-	"io"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"badabing/internal/obs"
 )
 
 // State is a component's (or the daemon's aggregate) health position.
@@ -90,8 +89,8 @@ type Snapshot struct {
 // methods are safe for concurrent use. The zero Monitor is not usable;
 // call NewMonitor.
 type Monitor struct {
-	logf func(format string, args ...any)
-	now  func() time.Time
+	log *obs.Logger
+	now func() time.Time
 
 	mu         sync.Mutex
 	components map[string]Probe
@@ -102,14 +101,11 @@ type Monitor struct {
 	transitions atomic.Int64
 }
 
-// NewMonitor builds a monitor. logf receives one line per state
-// transition (nil discards them).
-func NewMonitor(logf func(format string, args ...any)) *Monitor {
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
+// NewMonitor builds a monitor. log receives one structured line per
+// state transition (nil discards them).
+func NewMonitor(log *obs.Logger) *Monitor {
 	return &Monitor{
-		logf:       logf,
+		log:        log,
 		now:        time.Now,
 		components: make(map[string]Probe),
 	}
@@ -149,10 +145,24 @@ func (m *Monitor) Set(component string, s State, reason string) {
 		if reason == "" {
 			reason = "recovered"
 		}
-		m.logf("health: %s %s -> %s: %s", component, prev.State, s, reason)
+		m.logTransition(s, "health transition",
+			"component", component, "from", prev.State, "to", s, "reason", reason)
 	}
 	if agg != aggBefore {
-		m.logf("health: daemon %s -> %s", aggBefore, agg)
+		m.logTransition(agg, "daemon health changed", "from", aggBefore, "to", agg)
+	}
+}
+
+// logTransition picks the log level from the severity being entered:
+// recoveries are info, impairment is warn, failure is error.
+func (m *Monitor) logTransition(s State, msg string, kv ...any) {
+	switch s {
+	case Failing:
+		m.log.Error(msg, kv...)
+	case Degraded:
+		m.log.Warn(msg, kv...)
+	default:
+		m.log.Info(msg, kv...)
 	}
 }
 
@@ -188,27 +198,19 @@ func (m *Monitor) Snapshot() Snapshot {
 	return snap
 }
 
-// WriteMetrics renders the badabingd_health_* families in the
-// Prometheus text exposition format (hand-rolled, like the rest of the
-// daemon's metrics — the repository takes no dependencies).
-func (m *Monitor) WriteMetrics(w io.Writer) {
-	snap := m.Snapshot()
-	fmt.Fprintf(w, "# HELP badabingd_health_state Daemon health: 0 ok, 1 degraded, 2 failing.\n")
-	fmt.Fprintf(w, "# TYPE badabingd_health_state gauge\n")
-	fmt.Fprintf(w, "badabingd_health_state %d\n", snap.State)
-	if len(snap.Components) > 0 {
-		names := make([]string, 0, len(snap.Components))
-		for name := range snap.Components {
-			names = append(names, name)
+// RegisterMetrics registers the badabingd_health_* families into the
+// observability registry; each scrape mirrors the live snapshot.
+func (m *Monitor) RegisterMetrics(o *obs.Registry) {
+	state := o.Gauge("badabingd_health_state", "Daemon health: 0 ok, 1 degraded, 2 failing.")
+	component := o.GaugeVec("badabingd_health_component", "Component health: 0 ok, 1 degraded, 2 failing.", "component")
+	transitions := o.Counter("badabingd_health_transitions_total", "Component health state changes since start.")
+	o.OnScrape(func() {
+		snap := m.Snapshot()
+		state.SetInt(int64(snap.State))
+		component.Reset()
+		for name, p := range snap.Components {
+			component.With(name).SetInt(int64(p.State))
 		}
-		sort.Strings(names)
-		fmt.Fprintf(w, "# HELP badabingd_health_component Component health: 0 ok, 1 degraded, 2 failing.\n")
-		fmt.Fprintf(w, "# TYPE badabingd_health_component gauge\n")
-		for _, name := range names {
-			fmt.Fprintf(w, "badabingd_health_component{component=%q} %d\n", name, snap.Components[name].State)
-		}
-	}
-	fmt.Fprintf(w, "# HELP badabingd_health_transitions_total Component health state changes since start.\n")
-	fmt.Fprintf(w, "# TYPE badabingd_health_transitions_total counter\n")
-	fmt.Fprintf(w, "badabingd_health_transitions_total %d\n", m.Transitions())
+		transitions.Set(float64(m.Transitions()))
+	})
 }

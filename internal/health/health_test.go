@@ -1,10 +1,11 @@
 package health
 
 import (
-	"fmt"
 	"strings"
 	"testing"
 	"time"
+
+	"badabing/internal/obs"
 )
 
 // TestMonitorAggregation: the daemon state is the worst component
@@ -48,10 +49,8 @@ func TestMonitorAggregation(t *testing.T) {
 // TestMonitorLogsOncePerTransition: re-reporting the same state is
 // silent; each change logs exactly one component line.
 func TestMonitorLogsOncePerTransition(t *testing.T) {
-	var lines []string
-	m := NewMonitor(func(format string, args ...any) {
-		lines = append(lines, fmt.Sprintf(format, args...))
-	})
+	var sb strings.Builder
+	m := NewMonitor(obs.NewLogger(&sb, obs.LoggerConfig{}))
 	for i := 0; i < 5; i++ {
 		m.Set("store", Degraded, "disk full")
 	}
@@ -59,11 +58,12 @@ func TestMonitorLogsOncePerTransition(t *testing.T) {
 		t.Fatalf("transitions = %d, want 1 (flapping samples must not count)", m.Transitions())
 	}
 	var componentLines int
-	for _, l := range lines {
-		if strings.Contains(l, "store") {
+	for _, l := range strings.Split(sb.String(), "\n") {
+		if strings.Contains(l, "component=store") {
 			componentLines++
 		}
 	}
+	lines := sb.String()
 	if componentLines != 1 {
 		t.Fatalf("logged %d store lines (%q), want exactly 1", componentLines, lines)
 	}
@@ -176,25 +176,35 @@ func TestWatchdogMetrics(t *testing.T) {
 	w := NewWatchdog(m, Budgets{MaxGoroutines: 10}, time.Hour)
 	w.SetSample(func() Usage { return Usage{Goroutines: 42, OpenFDs: 7, HeapBytes: 1234} })
 	w.Check()
-	var sb, hb strings.Builder
-	w.WriteMetrics(&sb)
+	o := obs.NewRegistry()
+	w.RegisterMetrics(o)
+	m.RegisterMetrics(o)
+	var sb strings.Builder
+	if err := o.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{
 		"badabingd_watchdog_goroutines 42",
 		"badabingd_watchdog_open_fds 7",
 		"badabingd_watchdog_heap_bytes 1234",
-	} {
-		if !strings.Contains(sb.String(), want) {
-			t.Errorf("watchdog metrics missing %q:\n%s", want, sb.String())
-		}
-	}
-	m.WriteMetrics(&hb)
-	for _, want := range []string{
 		"badabingd_health_state 2",
 		`badabingd_health_component{component="resources"} 2`,
 		"badabingd_health_transitions_total 1",
 	} {
-		if !strings.Contains(hb.String(), want) {
-			t.Errorf("health metrics missing %q:\n%s", want, hb.String())
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, sb.String())
 		}
+	}
+
+	// open_fds disappears (never renders a stale sample) when the
+	// platform cannot count descriptors.
+	w.SetSample(func() Usage { return Usage{Goroutines: 42, OpenFDs: -1, HeapBytes: 1234} })
+	w.Check()
+	sb.Reset()
+	if err := o.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "badabingd_watchdog_open_fds") {
+		t.Errorf("open_fds rendered without a count:\n%s", sb.String())
 	}
 }

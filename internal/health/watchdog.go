@@ -2,12 +2,13 @@ package health
 
 import (
 	"fmt"
-	"io"
 	"os"
 	"runtime"
 	"strings"
 	"sync"
 	"time"
+
+	"badabing/internal/obs"
 )
 
 // Budgets are the resource ceilings the watchdog enforces. A zero field
@@ -164,20 +165,22 @@ func (w *Watchdog) Last() Usage {
 	return w.last
 }
 
-// WriteMetrics renders the watchdog gauges for /metrics.
-func (w *Watchdog) WriteMetrics(out io.Writer) {
-	u := w.Last()
-	fmt.Fprintf(out, "# HELP badabingd_watchdog_goroutines Goroutines at the last watchdog sample.\n")
-	fmt.Fprintf(out, "# TYPE badabingd_watchdog_goroutines gauge\n")
-	fmt.Fprintf(out, "badabingd_watchdog_goroutines %d\n", u.Goroutines)
-	if u.OpenFDs >= 0 {
-		fmt.Fprintf(out, "# HELP badabingd_watchdog_open_fds Open file descriptors at the last watchdog sample.\n")
-		fmt.Fprintf(out, "# TYPE badabingd_watchdog_open_fds gauge\n")
-		fmt.Fprintf(out, "badabingd_watchdog_open_fds %d\n", u.OpenFDs)
-	}
-	fmt.Fprintf(out, "# HELP badabingd_watchdog_heap_bytes Live heap bytes at the last watchdog sample.\n")
-	fmt.Fprintf(out, "# TYPE badabingd_watchdog_heap_bytes gauge\n")
-	fmt.Fprintf(out, "badabingd_watchdog_heap_bytes %d\n", u.HeapBytes)
+// RegisterMetrics registers the watchdog gauges; each scrape mirrors
+// the most recent sample. open_fds renders only where the platform can
+// count file descriptors (the pre-registry writer's conditional).
+func (w *Watchdog) RegisterMetrics(o *obs.Registry) {
+	goroutines := o.Gauge("badabingd_watchdog_goroutines", "Goroutines at the last watchdog sample.")
+	openFDs := o.GaugeVec("badabingd_watchdog_open_fds", "Open file descriptors at the last watchdog sample.")
+	heap := o.Gauge("badabingd_watchdog_heap_bytes", "Live heap bytes at the last watchdog sample.")
+	o.OnScrape(func() {
+		u := w.Last()
+		goroutines.SetInt(int64(u.Goroutines))
+		openFDs.Reset()
+		if u.OpenFDs >= 0 {
+			openFDs.With().SetInt(int64(u.OpenFDs))
+		}
+		heap.Set(float64(u.HeapBytes))
+	})
 }
 
 // sampleUsage reads the live process counters.

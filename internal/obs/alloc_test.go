@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"testing"
+)
+
+// TestInstrumentOpsZeroAlloc pins the hot-path contract: updating a
+// bound instrument never touches the heap. Pacing loops, the WAL
+// append path and per-request HTTP accounting all ride on this.
+func TestInstrumentOpsZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "h")
+	g := r.Gauge("g", "h")
+	h := r.Histogram("h_seconds", "h", DefBuckets)
+	vc := r.CounterVec("vc_total", "h", "shard").With("3")
+	vg := r.GaugeVec("vg", "h", "shard").With("3")
+
+	cases := []struct {
+		name string
+		op   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(7) }},
+		{"Counter.AddFloat", func() { c.AddFloat(0.5) }},
+		{"Counter.Set", func() { c.Set(42) }},
+		{"Gauge.Set", func() { g.Set(1.5) }},
+		{"Gauge.SetInt", func() { g.SetInt(9) }},
+		{"Gauge.Add", func() { g.Add(-2) }},
+		{"Histogram.Observe", func() { h.Observe(0.017) }},
+		{"BoundVecCounter.Inc", func() { vc.Inc() }},
+		{"BoundVecGauge.Set", func() { vg.Set(3) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.op); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestRenderAllocsBounded: the scrape path reuses its buffer, so a
+// steady render settles to a small per-scrape allocation count that
+// does not scale with sample count (the per-family child snapshots are
+// the only per-render slices).
+func TestRenderAllocsBounded(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("many", "h", "i")
+	for i := 0; i < 200; i++ {
+		v.With(strconv.Itoa(i)).Set(float64(i))
+	}
+	r.Counter("c_total", "h").Inc()
+	r.Histogram("h_seconds", "h", DefBuckets).Observe(0.1)
+
+	// Warm the buffer pool.
+	for i := 0; i < 4; i++ {
+		r.Write(io.Discard)
+	}
+	allocs := testing.AllocsPerRun(100, func() { r.Write(io.Discard) })
+	// 3 families -> one snapshot slice each, plus pool bookkeeping.
+	if allocs > 12 {
+		t.Errorf("render allocates %v per scrape, want <= 12", allocs)
+	}
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// renderBufs recycles exposition buffers across scrapes so a steady
+// scrape load settles into a handful of allocations per render.
+var renderBufs = sync.Pool{New: func() any { b := make([]byte, 0, 16<<10); return &b }}
+
+// Write renders the registry as Prometheus text exposition format
+// 0.0.4: collectors run first (mirroring pull-style state into
+// instruments), then every non-empty family is emitted in sorted name
+// order with exactly one HELP/TYPE pair and its samples in sorted
+// label order.
+func (r *Registry) Write(w io.Writer) error {
+	r.mu.Lock()
+	collectors := r.collectors
+	r.mu.Unlock()
+	for _, c := range collectors {
+		c()
+	}
+
+	r.mu.Lock()
+	fams := make([]*family, len(r.sorted))
+	copy(fams, r.sorted)
+	r.mu.Unlock()
+
+	bp := renderBufs.Get().(*[]byte)
+	b := (*bp)[:0]
+	for _, f := range fams {
+		b = f.render(b)
+	}
+	_, err := w.Write(b)
+	*bp = b
+	renderBufs.Put(bp)
+	return err
+}
+
+// render appends one family's exposition block to b (nothing when the
+// family has no live children).
+func (f *family) render(b []byte) []byte {
+	f.mu.Lock()
+	var rows []*sample
+	var hrows []*histSample
+	if f.kind == KindHistogram {
+		hrows = make([]*histSample, 0, len(f.hists))
+		for _, h := range f.hists {
+			hrows = append(hrows, h)
+		}
+	} else {
+		rows = make([]*sample, 0, len(f.children))
+		for _, s := range f.children {
+			rows = append(rows, s)
+		}
+	}
+	f.mu.Unlock()
+	if len(rows) == 0 && len(hrows) == 0 {
+		return b
+	}
+
+	b = append(b, "# HELP "...)
+	b = append(b, f.name...)
+	b = append(b, ' ')
+	b = appendEscapedHelp(b, f.help)
+	b = append(b, "\n# TYPE "...)
+	b = append(b, f.name...)
+	b = append(b, ' ')
+	b = append(b, f.kind.String()...)
+	b = append(b, '\n')
+
+	if f.kind == KindHistogram {
+		sort.Slice(hrows, func(i, j int) bool { return hrows[i].labels < hrows[j].labels })
+		for _, h := range hrows {
+			b = h.render(b, f.name)
+		}
+		return b
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].labels < rows[j].labels })
+	for _, s := range rows {
+		b = append(b, f.name...)
+		b = append(b, s.labels...)
+		b = append(b, ' ')
+		b = appendValue(b, s.value())
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// render appends one histogram child: cumulative buckets, +Inf, sum and
+// count, with le spliced into the child's pre-rendered label set.
+func (h *histSample) render(b []byte, name string) []byte {
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		b = append(b, name...)
+		b = append(b, "_bucket"...)
+		b = h.appendLabelsWithLe(b, i)
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, name...)
+	b = append(b, "_sum"...)
+	b = append(b, h.labels...)
+	b = append(b, ' ')
+	b = appendValue(b, math.Float64frombits(h.sumBits.Load()))
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_count"...)
+	b = append(b, h.labels...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, cum, 10)
+	b = append(b, '\n')
+	return b
+}
+
+// appendLabelsWithLe renders the child's labels plus le="<bound i>"
+// (index len(buckets) is +Inf).
+func (h *histSample) appendLabelsWithLe(b []byte, i int) []byte {
+	b = append(b, '{')
+	if len(h.labels) > 2 {
+		// Splice the existing `{...}` open: keep its body, add a comma.
+		b = append(b, h.labels[1:len(h.labels)-1]...)
+		b = append(b, ',')
+	}
+	b = append(b, `le="`...)
+	if i >= len(h.buckets) {
+		b = append(b, "+Inf"...)
+	} else {
+		b = strconv.AppendFloat(b, h.buckets[i], 'g', -1, 64)
+	}
+	b = append(b, `"}`...)
+	return b
+}
+
+// renderLabels pre-renders a label set as `{k="v",...}` with the
+// exposition format's escapes (backslash, double quote, newline).
+func renderLabels(keys, values []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	b := make([]byte, 0, 32)
+	b = append(b, '{')
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, k...)
+		b = append(b, `="`...)
+		b = appendEscapedLabel(b, values[i])
+		b = append(b, '"')
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
+// appendEscapedHelp escapes backslash and newline (HELP text rules).
+func appendEscapedHelp(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, `\\`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}
+
+// appendEscapedLabel escapes backslash, double quote and newline
+// (label value rules).
+func appendEscapedLabel(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, `\\`...)
+		case '"':
+			b = append(b, `\"`...)
+		case '\n':
+			b = append(b, `\n`...)
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}
+
+// appendValue renders a sample value: integral magnitudes within the
+// float64-exact range render as integers, everything else as shortest
+// round-trip %g (NaN/Inf included, matching the exposition grammar).
+func appendValue(b []byte, v float64) []byte {
+	if v == math.Trunc(v) && math.Abs(v) < (1<<53) && !math.IsInf(v, 0) {
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}

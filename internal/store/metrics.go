@@ -1,0 +1,44 @@
+package store
+
+import (
+	"badabing/internal/obs"
+)
+
+// RegisterMetrics registers the durable archive's metric families; each
+// scrape mirrors a Stats snapshot, so /metrics and GET /v1/store/stats
+// always agree.
+func (s *Store) RegisterMetrics(o *obs.Registry) {
+	bytesWritten := o.Counter("badabingd_store_bytes_written_total", "Bytes appended to the measurement WAL.")
+	recordsWritten := o.Counter("badabingd_store_records_written_total", "Records appended to the measurement WAL.")
+	recordsReplayed := o.Gauge("badabingd_store_records_replayed", "Records replayed from the WAL at the last startup.")
+	recoverySeconds := o.Gauge("badabingd_store_recovery_seconds", "WAL replay duration at the last startup.")
+	tornTails := o.Gauge("badabingd_store_torn_tails", "Segments whose replay ended at a torn or corrupt frame.")
+	segments := o.Gauge("badabingd_store_segments", "Live WAL segment files (sealed + active).")
+	segmentsDropped := o.Counter("badabingd_store_segments_dropped_total", "Segments deleted by retention.")
+	compactions := o.Counter("badabingd_store_compactions_total", "Retention sweeps that dropped or compacted data.")
+	fsyncs := o.Counter("badabingd_store_fsyncs_total", "WAL fsync calls.")
+	fsyncSeconds := o.Counter("badabingd_store_fsync_seconds_total", "Cumulative time spent in WAL fsyncs (latency = rate of this over fsyncs).")
+	sessions := o.Gauge("badabingd_store_sessions", "Sessions in the archive index.")
+	points := o.Gauge("badabingd_store_points", "Estimate snapshots in the queryable series.")
+	droppedAfterClose := o.Counter("badabingd_store_dropped_after_close_total", "Events dropped because they arrived after store close (always 0 when shutdown ordering holds).")
+	writeErrors := o.Counter("badabingd_store_write_errors_total", "WAL append failures (the breaker's trip signal; nonzero means the archive disk misbehaved).")
+	fsyncErrors := o.Counter("badabingd_store_fsync_errors_total", "WAL fsync failures (acknowledged records may not be durable).")
+	o.OnScrape(func() {
+		st := s.Stats()
+		bytesWritten.Set(float64(st.BytesWritten))
+		recordsWritten.Set(float64(st.RecordsWritten))
+		recordsReplayed.SetInt(int64(st.RecordsReplayed))
+		recoverySeconds.Set(st.RecoverySeconds)
+		tornTails.SetInt(int64(st.TornTails))
+		segments.SetInt(int64(st.Segments))
+		segmentsDropped.Set(float64(st.SegmentsDropped))
+		compactions.Set(float64(st.Compactions))
+		fsyncs.Set(float64(st.Fsyncs))
+		fsyncSeconds.Set(st.FsyncSeconds)
+		sessions.SetInt(int64(st.Sessions))
+		points.SetInt(int64(st.Points))
+		droppedAfterClose.Set(float64(st.DroppedAfterClose))
+		writeErrors.Set(float64(st.WriteErrors))
+		fsyncErrors.Set(float64(st.FsyncErrors))
+	})
+}

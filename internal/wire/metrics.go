@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"strconv"
+
+	"badabing/internal/obs"
+)
+
+// RegisterMetrics registers the reflector's metric families; each
+// scrape mirrors the live counters. The per-shard children are bound
+// once here — shard count is fixed for the reflector's lifetime — so a
+// scrape formats no labels (the old writer rendered shard=%q with
+// fmt.Sprint per row per scrape).
+func (r *Reflector) RegisterMetrics(o *obs.Registry) {
+	packets := o.Counter("badabingd_reflector_packets_total", "Probe packets echoed by the co-hosted reflector.")
+	pings := o.Counter("badabingd_reflector_pings_total", "Liveness pings answered by the co-hosted reflector.")
+	dropped := o.Counter("badabingd_reflector_dropped_total", "Reflector write failures (echoes or pongs it could not send).")
+	readErrors := o.Counter("badabingd_reflector_read_errors_total", "Transient read errors the reflector loops survived (monotone; current class logged once per change).")
+
+	// Per-shard rows: the aggregates above are their exact sums, so a
+	// cold shard (scheduling imbalance, wedged batch state) is visible.
+	shardPackets := o.CounterVec("badabingd_reflector_shard_packets_total", "Probe packets echoed, by echo shard.", "shard")
+	shardPings := o.CounterVec("badabingd_reflector_shard_pings_total", "Liveness pings answered, by echo shard.", "shard")
+	shardDropped := o.CounterVec("badabingd_reflector_shard_dropped_total", "Write failures, by echo shard.", "shard")
+	type shardRow struct {
+		packets, pings, dropped obs.Counter
+	}
+	rows := make([]shardRow, r.Shards())
+	for i := range rows {
+		s := strconv.Itoa(i)
+		rows[i] = shardRow{
+			packets: shardPackets.With(s),
+			pings:   shardPings.With(s),
+			dropped: shardDropped.With(s),
+		}
+	}
+
+	o.OnScrape(func() {
+		packets.Set(float64(r.Packets()))
+		pings.Set(float64(r.Pings()))
+		dropped.Set(float64(r.Dropped()))
+		errs, _ := r.ReadErrors()
+		readErrors.Set(float64(errs))
+		for i, s := range r.ShardCounts() {
+			if i >= len(rows) {
+				break
+			}
+			rows[i].packets.Set(float64(s.Packets))
+			rows[i].pings.Set(float64(s.Pings))
+			rows[i].dropped.Set(float64(s.Dropped))
+		}
+	})
+}
